@@ -1,0 +1,83 @@
+// Shared plumbing for the table/figure harness binaries.
+//
+// Common flags across harnesses:
+//   --steps N     random walk steps per chain (default: per-bench)
+//   --sims N      independent chains per data point
+//   --scale S     dataset scale factor in (0, 1]
+//   --paper       run at published scale (1,000 sims etc.)
+//   --csv PATH    mirror the main table to a CSV file
+//   --graph PATH  replace the synthetic datasets with a real edge list
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "eval/ground_truth.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace grw::bench {
+
+/// A named graph plus its ground-truth cache key.
+struct BenchGraph {
+  std::string name;
+  Graph graph;
+  std::string cache_key;
+};
+
+/// Loads either the --graph override (one real edge list) or all registry
+/// datasets up to `max_tier` at --scale.
+inline std::vector<BenchGraph> LoadBenchGraphs(const Flags& flags,
+                                               DatasetTier max_tier,
+                                               double default_scale = 1.0) {
+  std::vector<BenchGraph> graphs;
+  const std::string path = flags.GetString("graph", "");
+  if (!path.empty()) {
+    BenchGraph bg;
+    bg.name = path;
+    bg.graph = LoadEdgeList(path);
+    // Real files get a key derived from their shape.
+    bg.cache_key = "file_n" + std::to_string(bg.graph.NumNodes()) + "_m" +
+                   std::to_string(bg.graph.NumEdges());
+    graphs.push_back(std::move(bg));
+    return graphs;
+  }
+  const double scale = flags.GetDouble("scale", default_scale);
+  for (const std::string& name : DatasetNames(max_tier)) {
+    BenchGraph bg;
+    bg.name = name;
+    bg.graph = MakeDatasetByName(name, scale);
+    bg.cache_key = DatasetCacheKey(name, scale);
+    std::fprintf(stderr, "[bench] %s: %s\n", name.c_str(),
+                 bg.graph.Summary().c_str());
+    graphs.push_back(std::move(bg));
+  }
+  return graphs;
+}
+
+/// Simulation count: --sims override, else paper scale (1000) with
+/// --paper, else the bench default.
+inline int SimCount(const Flags& flags, int default_sims,
+                    int paper_sims = 1000) {
+  if (flags.Has("sims")) return static_cast<int>(flags.GetInt("sims", 0));
+  return flags.GetBool("paper") ? paper_sims : default_sims;
+}
+
+/// Writes the CSV mirror if --csv was given.
+inline void MaybeWriteCsv(const Flags& flags, const Table& table) {
+  const std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    if (table.WriteCsv(csv)) {
+      std::printf("csv written to %s\n", csv.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", csv.c_str());
+    }
+  }
+}
+
+}  // namespace grw::bench

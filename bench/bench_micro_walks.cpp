@@ -1,0 +1,82 @@
+// Micro benchmarks: per-step cost of the walks on G(d) — the mechanism
+// behind paper Table 6's runtime gap (O(1) for d <= 2, O(d^2 |E|/|V|)
+// neighbor enumeration for d >= 3) — and of the full estimator variants.
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.h"
+#include "eval/datasets.h"
+#include "util/rng.h"
+#include "walk/edge_walk.h"
+#include "walk/node_walk.h"
+#include "walk/subgraph_walk.h"
+
+namespace {
+
+const grw::Graph& BenchGraph() {
+  static const grw::Graph g = grw::MakeDatasetByName("brightkite-sim", 0.5);
+  return g;
+}
+
+void BM_NodeWalkStep(benchmark::State& state) {
+  const grw::Graph& g = BenchGraph();
+  grw::NodeWalk walk(g, state.range(0) != 0);
+  grw::Rng rng(1);
+  walk.Reset(rng);
+  for (auto _ : state) {
+    walk.Step(rng);
+    benchmark::DoNotOptimize(walk.Current());
+  }
+}
+BENCHMARK(BM_NodeWalkStep)->Arg(0)->Arg(1);
+
+void BM_EdgeWalkStep(benchmark::State& state) {
+  const grw::Graph& g = BenchGraph();
+  grw::EdgeWalk walk(g, state.range(0) != 0);
+  grw::Rng rng(2);
+  walk.Reset(rng);
+  for (auto _ : state) {
+    walk.Step(rng);
+    benchmark::DoNotOptimize(walk.Nodes().data());
+  }
+}
+BENCHMARK(BM_EdgeWalkStep)->Arg(0)->Arg(1);
+
+void BM_SubgraphWalkStep(benchmark::State& state) {
+  const grw::Graph& g = BenchGraph();
+  grw::SubgraphWalk walk(g, static_cast<int>(state.range(0)));
+  grw::Rng rng(3);
+  walk.Reset(rng);
+  for (auto _ : state) {
+    walk.Step(rng);
+    benchmark::DoNotOptimize(walk.Nodes().data());
+  }
+}
+BENCHMARK(BM_SubgraphWalkStep)->Arg(3)->Arg(4);
+
+void BM_EstimatorStep(benchmark::State& state) {
+  const grw::Graph& g = BenchGraph();
+  grw::EstimatorConfig config;
+  config.k = static_cast<int>(state.range(0));
+  config.d = static_cast<int>(state.range(1));
+  config.css = state.range(2) != 0;
+  grw::GraphletEstimator estimator(g, config);
+  estimator.Reset(4);
+  for (auto _ : state) {
+    estimator.Run(1);
+  }
+  state.SetLabel(config.Name() + " k=" + std::to_string(config.k));
+}
+BENCHMARK(BM_EstimatorStep)
+    ->Args({3, 1, 0})
+    ->Args({3, 1, 1})
+    ->Args({4, 2, 0})
+    ->Args({4, 2, 1})
+    ->Args({4, 3, 0})
+    ->Args({5, 2, 0})
+    ->Args({5, 2, 1})
+    ->Args({5, 4, 0});
+
+}  // namespace
+
+BENCHMARK_MAIN();

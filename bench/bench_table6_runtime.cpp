@@ -1,0 +1,63 @@
+// Regenerates paper Table 6: wall-clock time of performing 20K random walk
+// steps when estimating 5-node graphlet concentration with SRW2, SRW2CSS,
+// SRW3, SRW4, versus exact enumeration — the paper's evidence that walking
+// on G(d) with smaller d is faster (SRW2 in milliseconds, SRW4 in tens of
+// seconds, Exact in minutes-to-hours).
+//
+// "Exact" here is our ESU enumeration (the paper used [13]); it is timed
+// fresh unless --skip-exact is given.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/estimator.h"
+#include "exact/esu.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const grw::Flags flags(argc, argv);
+  const uint64_t steps = flags.GetInt("steps", 20000);
+  const bool skip_exact = flags.GetBool("skip-exact");
+  const auto graphs =
+      grw::bench::LoadBenchGraphs(flags, grw::DatasetTier::kSmall);
+
+  const std::vector<grw::EstimatorConfig> methods = {
+      {5, 2, false, false},
+      {5, 2, true, false},
+      {5, 3, false, false},
+      {5, 4, false, false}};
+
+  grw::Table table("Table 6: running time of " + std::to_string(steps) +
+                   " random walk steps (5-node graphlets)");
+  table.SetHeader(
+      {"Graph", "SRW2", "SRW2CSS", "SRW3", "SRW4", "Exact (ESU)"});
+
+  for (const auto& bg : graphs) {
+    std::vector<std::string> row = {bg.name};
+    for (const auto& method : methods) {
+      // Median-ish of 3 runs for the fast methods, 1 run for slow ones.
+      const int reps = method.d <= 2 ? 3 : 1;
+      double best = 1e100;
+      for (int r = 0; r < reps; ++r) {
+        grw::GraphletEstimator estimator(bg.graph, method);
+        estimator.Reset(0xbe9c + r);
+        grw::WallTimer timer;
+        estimator.Run(steps);
+        best = std::min(best, timer.Seconds());
+      }
+      row.push_back(grw::Table::Duration(best));
+    }
+    if (skip_exact) {
+      row.push_back("(skipped)");
+    } else {
+      grw::WallTimer timer;
+      const auto counts = grw::CountGraphletsEsu(bg.graph, 5);
+      (void)counts;
+      row.push_back(grw::Table::Duration(timer.Seconds()));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  grw::bench::MaybeWriteCsv(flags, table);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension bench: Theorem 3's sample-size predictions vs measured error.
+//
+// The theorem says required steps scale with W * tau / Lambda_i, where
+// Lambda_i ~ alpha_i * c_i for rare types: graphlets with a larger
+// weighted concentration need fewer steps. We compute the bound's
+// ingredients exactly on an analysis-size graph, then measure per-type
+// NRMSE at a fixed budget — the measured error ordering should follow
+// the predicted difficulty ordering (this is the quantitative version of
+// the paper's Figure 5 argument).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/bounds.h"
+#include "core/estimator.h"
+#include "core/paper_ids.h"
+#include "eval/experiment.h"
+#include "graphlet/catalog.h"
+
+int main(int argc, char** argv) {
+  const grw::Flags flags(argc, argv);
+  const uint64_t steps = flags.GetInt("steps", 20000);
+  const int sims = grw::bench::SimCount(flags, 100, 1000);
+  const std::string dataset = flags.GetString("dataset", "brightkite-sim");
+  const double scale = flags.GetDouble("scale", 0.5);  // spectral gap: O(n^2)
+
+  const grw::Graph g = grw::MakeDatasetByName(dataset, scale);
+  std::fprintf(stderr, "[bench] %s: %s\n", dataset.c_str(),
+               g.Summary().c_str());
+  const auto truth = grw::CachedExactConcentrations(
+      g, 4, grw::DatasetCacheKey(dataset, scale));
+
+  const grw::EstimatorConfig config{4, 2, false, false};
+  const auto bound = grw::ComputeSampleSizeBound(g, 4, 2, truth);
+  const auto chains =
+      grw::RunConcentrationChains(g, config, steps, sims, 0x7e0);
+
+  std::printf("spectral analysis: mixing-time upper bound tau(1/8) <= %.0f "
+              "steps, W = %.0f\n", bound.tau, bound.w);
+
+  grw::Table table("Theorem 3 difficulty vs measured NRMSE (SRW2, " +
+                   std::to_string(steps) + " steps, " + dataset + ")");
+  table.SetHeader({"graphlet", "concentration", "alpha*c (weighted)",
+                   "predicted rel. steps", "measured NRMSE"});
+  const auto& order = grw::PaperOrder(4);
+  std::vector<double> predicted;
+  std::vector<double> measured;
+  for (int pos = 0; pos < 6; ++pos) {
+    const int id = order[pos];
+    const double nrmse = grw::NrmseOfType(chains, truth, id);
+    table.AddRow({grw::PaperLabel(4, pos), grw::Table::Sci(truth[id]),
+                  grw::Table::Sci(bound.lambda[id]),
+                  grw::Table::Sci(bound.relative_steps[id]),
+                  grw::Table::Num(nrmse, 4)});
+    predicted.push_back(bound.relative_steps[id]);
+    measured.push_back(nrmse);
+  }
+  table.Print();
+
+  // Rank agreement between predicted difficulty and measured error.
+  int agreements = 0;
+  int comparisons = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    for (size_t j = i + 1; j < predicted.size(); ++j) {
+      if (!std::isfinite(predicted[i]) || !std::isfinite(predicted[j])) {
+        continue;
+      }
+      ++comparisons;
+      if ((predicted[i] < predicted[j]) == (measured[i] < measured[j])) {
+        ++agreements;
+      }
+    }
+  }
+  std::printf("difficulty-ordering agreement: %d/%d pairs\n", agreements,
+              comparisons);
+  grw::bench::MaybeWriteCsv(flags, table);
+  return 0;
+}

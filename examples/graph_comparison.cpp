@@ -1,0 +1,96 @@
+// Graph comparison via graphlet kernels — the paper's Section 6.4
+// application. Classifies an unknown network as "social-network-like" or
+// "news-media-like" by comparing its estimated 4-node graphlet
+// concentration vector against reference networks, using only a small
+// random-walk sample from each graph.
+//
+// Usage:
+//   graph_comparison [--steps N] [--graph edge_list.txt]
+//
+// Without --graph, a fresh clustered network (not in the reference set)
+// plays the unknown.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/paper_ids.h"
+#include "eval/datasets.h"
+#include "eval/similarity.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graphlet/catalog.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+std::vector<double> EstimateSignature(const grw::Graph& g, uint64_t steps,
+                                      uint64_t seed) {
+  grw::EstimatorConfig config{4, 2, true, false};  // SRW2CSS
+  return grw::GraphletEstimator::Estimate(g, config, steps, seed)
+      .concentrations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const grw::Flags flags(argc, argv);
+  const uint64_t steps = flags.GetInt("steps", 50000);
+
+  // Reference networks with known character.
+  const std::vector<std::pair<std::string, std::string>> references = {
+      {"facebook-sim", "social network"},
+      {"flickr-sim", "social network"},
+      {"twitter-sim", "news medium"},
+      {"sinaweibo-sim", "news medium"},
+  };
+
+  // The unknown graph.
+  grw::Graph unknown;
+  std::string unknown_name;
+  if (flags.Has("graph")) {
+    unknown_name = flags.GetString("graph", "");
+    unknown = grw::LoadEdgeList(unknown_name);
+  } else {
+    unknown_name = "mystery (Holme-Kim, clustered)";
+    grw::Rng rng(0xabcdef);
+    unknown = grw::HolmeKim(20000, 8, 0.55, rng);
+  }
+  std::printf("unknown graph %s: %s\n", unknown_name.c_str(),
+              unknown.Summary().c_str());
+  const auto unknown_sig = EstimateSignature(unknown, steps, 1);
+
+  grw::Table table("graphlet-kernel similarity of the unknown graph "
+                   "(SRW2CSS, " + std::to_string(steps) + " steps/graph)");
+  table.SetHeader({"reference", "character", "similarity"});
+  double best = -1.0;
+  std::string verdict;
+  for (const auto& [name, character] : references) {
+    const grw::Graph ref = grw::MakeDatasetByName(name, 0.5);
+    const auto sig = EstimateSignature(ref, steps, 2);
+    const double sim = grw::GraphletKernelSimilarity(unknown_sig, sig);
+    table.AddRow({name, character, grw::Table::Num(sim, 4)});
+    if (sim > best) {
+      best = sim;
+      verdict = character;
+    }
+  }
+  table.Print();
+
+  // Show the signature itself in paper order.
+  grw::Table sig_table("estimated 4-node signature of the unknown graph");
+  sig_table.SetHeader({"graphlet", "concentration"});
+  const auto& order = grw::PaperOrder(4);
+  for (int pos = 0; pos < 6; ++pos) {
+    sig_table.AddRow({grw::PaperLabel(4, pos),
+                      grw::Table::Sci(unknown_sig[order[pos]])});
+  }
+  sig_table.Print();
+
+  std::printf("verdict: the unknown graph looks like a %s "
+              "(best similarity %.4f)\n", verdict.c_str(), best);
+  return 0;
+}

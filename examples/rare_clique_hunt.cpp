@@ -1,0 +1,81 @@
+// Estimating the concentration of rare dense graphlets (4- and 5-node
+// cliques) and watching the estimate converge — the hardest case in the
+// paper's evaluation (cliques have the smallest concentration, Table 5)
+// and the one where the choice of walk dimension d matters most.
+//
+// The example runs SRW2CSS (the paper's recommendation) and PSRW
+// (d = k-1, the prior state of the art) side by side on the same budget
+// and prints the running estimates, demonstrating the accuracy gap that
+// Figure 6 quantifies.
+//
+// Usage:
+//   rare_clique_hunt [--k 4|5] [--steps N] [--graph edge_list.txt]
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/paper_ids.h"
+#include "eval/datasets.h"
+#include "eval/ground_truth.h"
+#include "graph/io.h"
+#include "graphlet/catalog.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const grw::Flags flags(argc, argv);
+  const int k = static_cast<int>(flags.GetInt("k", 4));
+  const uint64_t steps = flags.GetInt("steps", 20000);
+  if (k != 4 && k != 5) {
+    std::fprintf(stderr, "--k must be 4 or 5\n");
+    return 1;
+  }
+
+  grw::Graph graph;
+  std::string cache_key;
+  if (flags.Has("graph")) {
+    graph = grw::LoadEdgeList(flags.GetString("graph", ""));
+    cache_key = "file_n" + std::to_string(graph.NumNodes()) + "_m" +
+                std::to_string(graph.NumEdges());
+  } else {
+    graph = grw::MakeDatasetByName("epinion-sim");
+    cache_key = grw::DatasetCacheKey("epinion-sim", 1.0);
+  }
+  std::printf("graph: %s\n", graph.Summary().c_str());
+
+  // The clique is the last paper id (g46 / g5_21).
+  const auto& order = grw::PaperOrder(k);
+  const int clique = order.back();
+  const auto truth = grw::CachedExactConcentrations(graph, k, cache_key);
+  std::printf("exact %d-clique concentration: %.3e\n", k, truth[clique]);
+
+  grw::EstimatorConfig recommended{k, 2, true, false};  // SRW2CSS
+  grw::EstimatorConfig psrw{k, k - 1, false, false};    // PSRW
+  grw::GraphletEstimator est_recommended(graph, recommended);
+  grw::GraphletEstimator est_psrw(graph, psrw);
+  est_recommended.Reset(11);
+  est_psrw.Reset(12);
+
+  grw::Table table("running estimate of the " + std::to_string(k) +
+                   "-clique concentration");
+  table.SetHeader({"steps", recommended.Name(), psrw.Name(),
+                   "rel.err " + recommended.Name(),
+                   "rel.err " + psrw.Name()});
+  const int checkpoints = 10;
+  for (int c = 1; c <= checkpoints; ++c) {
+    const uint64_t target = steps * c / checkpoints;
+    est_recommended.Run(target - est_recommended.Steps());
+    est_psrw.Run(target - est_psrw.Steps());
+    const double a = est_recommended.Result().concentrations[clique];
+    const double b = est_psrw.Result().concentrations[clique];
+    table.AddRow(
+        {grw::Table::Int(static_cast<long long>(target)),
+         grw::Table::Sci(a), grw::Table::Sci(b),
+         grw::Table::Num(std::abs(a - truth[clique]) / truth[clique], 3),
+         grw::Table::Num(std::abs(b - truth[clique]) / truth[clique], 3)});
+  }
+  table.Print();
+  std::printf("note: single chains shown for illustration; the NRMSE "
+              "benches average hundreds (bench_fig6_convergence).\n");
+  return 0;
+}

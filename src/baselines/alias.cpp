@@ -1,0 +1,53 @@
+#include "baselines/alias.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace grw {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  total_weight_ = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total_weight_ += w;
+  }
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument("AliasTable: zero total weight");
+  }
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  // Scaled probabilities; classify into under-/over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  const double scale = static_cast<double>(n) / total_weight_;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * scale;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly full (modulo rounding).
+  for (uint32_t i : small) prob_[i] = 1.0;
+  for (uint32_t i : large) prob_[i] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t i = rng.UniformInt(prob_.size());
+  return rng.UniformReal() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace grw

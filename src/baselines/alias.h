@@ -1,0 +1,39 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) preprocessing.
+//
+// The full-access baselines (paper Section 6.3.2) sample nodes with
+// probability proportional to C(d_v, 2) (wedge sampling) and edges with
+// probability proportional to (d_u - 1)(d_v - 1) (path sampling); both are
+// static weighted distributions over millions of items, which is the alias
+// method's sweet spot. The preprocessing cost is exactly the O(|V|)/O(|E|)
+// setup the paper charges these baselines with.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace grw {
+
+/// Alias table over indices [0, n) with the given non-negative weights.
+class AliasTable {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability weight[i] / sum(weights). O(1).
+  size_t Sample(Rng& rng) const;
+
+  size_t Size() const { return prob_.size(); }
+  double TotalWeight() const { return total_weight_; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  double total_weight_;
+};
+
+}  // namespace grw

@@ -1,0 +1,185 @@
+#include "baselines/guise.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graphlet/catalog.h"
+#include "graphlet/classifier.h"
+#include "walk/subgraph_walk.h"
+
+namespace grw {
+
+namespace {
+
+constexpr int kMinSize = 3;
+constexpr int kMaxSize = 5;
+
+}  // namespace
+
+Guise::Guise(const Graph& g) : g_(&g) {
+  if (g.NumNodes() < kMaxSize + 1) {
+    throw std::invalid_argument("Guise: graph too small");
+  }
+  counts3_.assign(GraphletCatalog::ForSize(3).NumTypes(), 0);
+  counts4_.assign(GraphletCatalog::ForSize(4).NumTypes(), 0);
+  counts5_.assign(GraphletCatalog::ForSize(5).NumTypes(), 0);
+}
+
+void Guise::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  steps_ = 0;
+  accepted_ = 0;
+  std::fill(counts3_.begin(), counts3_.end(), 0);
+  std::fill(counts4_.begin(), counts4_.end(), 0);
+  std::fill(counts5_.begin(), counts5_.end(), 0);
+  // Grow a random connected 3-node seed subgraph.
+  while (true) {
+    current_.clear();
+    current_.push_back(
+        static_cast<VertexId>(rng_.UniformInt(g_->NumNodes())));
+    int guard = 0;
+    while (static_cast<int>(current_.size()) < kMinSize && guard++ < 64) {
+      const VertexId anchor = current_[rng_.UniformInt(current_.size())];
+      const uint32_t deg = g_->Degree(anchor);
+      const VertexId w = g_->Neighbor(
+          anchor, static_cast<uint32_t>(rng_.UniformInt(deg)));
+      if (std::find(current_.begin(), current_.end(), w) == current_.end()) {
+        current_.push_back(w);
+      }
+    }
+    if (static_cast<int>(current_.size()) == kMinSize) break;
+  }
+  std::sort(current_.begin(), current_.end());
+}
+
+void Guise::PopulateNeighbors(const std::vector<VertexId>& nodes) {
+  neighbors_.clear();
+  neighbor_offsets_.clear();
+  const int t = static_cast<int>(nodes.size());
+  std::vector<VertexId> candidate;
+
+  auto emit = [this](const std::vector<VertexId>& state) {
+    neighbor_offsets_.push_back(static_cast<uint32_t>(neighbors_.size()));
+    neighbors_.insert(neighbors_.end(), state.begin(), state.end());
+  };
+
+  // Removals (t > kMinSize): drop one vertex, remainder must stay
+  // connected.
+  if (t > kMinSize) {
+    for (int omit = 0; omit < t; ++omit) {
+      candidate.clear();
+      for (int i = 0; i < t; ++i) {
+        if (i != omit) candidate.push_back(nodes[i]);
+      }
+      if (InducedSubgraphConnected(*g_, candidate)) emit(candidate);
+    }
+  }
+
+  // Distinct external neighbors of the subgraph.
+  std::vector<VertexId> frontier;
+  for (VertexId v : nodes) {
+    for (VertexId w : g_->Neighbors(v)) {
+      if (std::find(nodes.begin(), nodes.end(), w) == nodes.end()) {
+        frontier.push_back(w);
+      }
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+
+  // Additions (t < kMaxSize): adjoin any external neighbor.
+  if (t < kMaxSize) {
+    for (VertexId w : frontier) {
+      candidate.resize(t + 1);
+      std::merge(nodes.begin(), nodes.end(), &w, &w + 1, candidate.begin());
+      emit(candidate);
+    }
+  }
+
+  // Swaps: replace one vertex by an external neighbor of the remainder.
+  std::vector<VertexId> base(t - 1);
+  for (int omit = 0; omit < t; ++omit) {
+    for (int i = 0, j = 0; i < t; ++i) {
+      if (i != omit) base[j++] = nodes[i];
+    }
+    for (VertexId w : frontier) {
+      // w adjacent to the base (not merely to the omitted vertex)?
+      candidate.resize(t);
+      std::merge(base.begin(), base.end(), &w, &w + 1, candidate.begin());
+      if (InducedSubgraphConnected(*g_, candidate)) emit(candidate);
+    }
+  }
+  neighbor_offsets_.push_back(static_cast<uint32_t>(neighbors_.size()));
+}
+
+void Guise::Tally(const std::vector<VertexId>& nodes) {
+  const int t = static_cast<int>(nodes.size());
+  uint32_t mask = 0;
+  for (int i = 0; i < t; ++i) {
+    for (int j = i + 1; j < t; ++j) {
+      if (g_->HasEdge(nodes[i], nodes[j])) {
+        mask = MaskWithEdge(mask, t, i, j);
+      }
+    }
+  }
+  const int type = GraphletClassifier::ForSize(t).Type(mask);
+  if (type < 0) return;
+  if (t == 3) counts3_[type]++;
+  if (t == 4) counts4_[type]++;
+  if (t == 5) counts5_[type]++;
+}
+
+void Guise::Run(uint64_t steps) {
+  std::vector<VertexId> proposal;
+  for (uint64_t s = 0; s < steps; ++s) {
+    PopulateNeighbors(current_);
+    const size_t current_degree = neighbor_offsets_.size() - 1;
+    if (current_degree > 0) {
+      const size_t pick = rng_.UniformInt(current_degree);
+      proposal.assign(neighbors_.begin() + neighbor_offsets_[pick],
+                      neighbors_.begin() + neighbor_offsets_[pick + 1]);
+      // MH acceptance toward the uniform distribution over graphlets:
+      // min{1, d(current)/d(proposal)}.
+      PopulateNeighbors(proposal);
+      const size_t proposal_degree = neighbor_offsets_.size() - 1;
+      const double ratio = static_cast<double>(current_degree) /
+                           static_cast<double>(proposal_degree);
+      if (rng_.UniformReal() <= ratio) {
+        current_ = proposal;
+        ++accepted_;
+      }
+    }
+    Tally(current_);
+    ++steps_;
+  }
+}
+
+std::vector<double> Guise::Concentrations(int k) const {
+  const std::vector<uint64_t>* counts = nullptr;
+  switch (k) {
+    case 3:
+      counts = &counts3_;
+      break;
+    case 4:
+      counts = &counts4_;
+      break;
+    case 5:
+      counts = &counts5_;
+      break;
+    default:
+      throw std::invalid_argument("Guise::Concentrations: k must be 3..5");
+  }
+  std::vector<double> result(counts->size(), 0.0);
+  uint64_t total = 0;
+  for (uint64_t c : *counts) total += c;
+  if (total > 0) {
+    for (size_t i = 0; i < counts->size(); ++i) {
+      result[i] = static_cast<double>((*counts)[i]) /
+                  static_cast<double>(total);
+    }
+  }
+  return result;
+}
+
+}  // namespace grw

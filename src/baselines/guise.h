@@ -1,0 +1,74 @@
+// GUISE (Bhuiyan et al., ICDM'12): uniform graphlet sampling via a
+// Metropolis-Hastings walk on the subgraph relationship graph — the third
+// restricted-access method in the paper's related work (Section 1.1).
+//
+// GUISE walks over all 3-, 4- and 5-node connected induced subgraphs
+// simultaneously: from the current graphlet it proposes a random neighbor
+// (a graphlet obtained by swapping/adding/removing one vertex) and accepts
+// with probability min{1, deg(current)/deg(proposal)}, making the
+// stationary distribution uniform over graphlets of all three sizes at
+// once. Concentrations are then plain frequencies.
+//
+// The paper notes GUISE "suffers from rejection of samples"; implementing
+// it lets the benches quantify that against the framework (the MH
+// rejections waste steps, and the neighbor-population cost per step is
+// far higher than SRW1/SRW2's O(1)).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grw {
+
+/// MH-uniform sampler over 3/4/5-node graphlets.
+class Guise {
+ public:
+  /// The graph must be connected with at least 6 nodes.
+  explicit Guise(const Graph& g);
+
+  /// Starts a fresh chain from a random connected 3..5-node subgraph.
+  void Reset(uint64_t seed);
+
+  /// Advances `steps` MH transitions, tallying one graphlet observation
+  /// (the current state) per step.
+  void Run(uint64_t steps);
+
+  /// Concentration estimates for one size (catalog ids), normalized
+  /// within that size. k in {3, 4, 5}.
+  std::vector<double> Concentrations(int k) const;
+
+  uint64_t Steps() const { return steps_; }
+  uint64_t Accepted() const { return accepted_; }
+  /// Fraction of proposals rejected by the MH filter — the inefficiency
+  /// the paper calls out.
+  double RejectionRate() const {
+    return steps_ == 0 ? 0.0
+                       : 1.0 - static_cast<double>(accepted_) /
+                                   static_cast<double>(steps_);
+  }
+
+ private:
+  // Populates `neighbors_` with all graphlet states adjacent to `nodes`
+  // in GUISE's relationship graph: same-size vertex swaps, one-vertex
+  // additions (size < 5) and one-vertex removals (size > 3).
+  void PopulateNeighbors(const std::vector<VertexId>& nodes);
+
+  void Tally(const std::vector<VertexId>& nodes);
+
+  const Graph* g_;
+  Rng rng_;
+  std::vector<VertexId> current_;
+  std::vector<VertexId> neighbors_;        // flattened, variable stride
+  std::vector<uint32_t> neighbor_offsets_;  // start of each neighbor
+  uint64_t steps_ = 0;
+  uint64_t accepted_ = 0;
+  std::vector<uint64_t> counts3_;
+  std::vector<uint64_t> counts4_;
+  std::vector<uint64_t> counts5_;
+};
+
+}  // namespace grw

@@ -1,0 +1,59 @@
+#include "baselines/hardiman_katzir.h"
+
+#include <stdexcept>
+
+#include "graphlet/catalog.h"
+
+namespace grw {
+
+HardimanKatzir::HardimanKatzir(const Graph& g) : g_(&g) {
+  if (g.NumNodes() < 3) {
+    throw std::invalid_argument("HardimanKatzir: graph too small");
+  }
+}
+
+void HardimanKatzir::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  current_ = static_cast<VertexId>(rng_.UniformInt(g_->NumNodes()));
+  has_prev_ = false;
+  phi_weighted_ = 0.0;
+  psi_ = 0.0;
+  steps_ = 0;
+}
+
+void HardimanKatzir::Run(uint64_t steps) {
+  for (uint64_t s = 0; s < steps; ++s) {
+    const uint32_t deg = g_->Degree(current_);
+    const VertexId next =
+        g_->Neighbor(current_, static_cast<uint32_t>(rng_.UniformInt(deg)));
+    if (has_prev_) {
+      // Interior sample at `current_`: are the entry and exit neighbors
+      // themselves adjacent?
+      if (g_->HasEdge(prev_, next)) {
+        phi_weighted_ += static_cast<double>(deg);
+      }
+      psi_ += static_cast<double>(deg) - 1.0;
+    }
+    prev_ = current_;
+    has_prev_ = true;
+    current_ = next;
+    ++steps_;
+  }
+}
+
+double HardimanKatzir::ClusteringCoefficient() const {
+  return psi_ > 0.0 ? phi_weighted_ / psi_ : 0.0;
+}
+
+std::vector<double> HardimanKatzir::Concentrations() const {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(3);
+  const double c = ClusteringCoefficient();
+  // c32 = c / (3 - 2c), c31 = 1 - c32 (paper Section 2.1 relationship).
+  const double c32 = c / (3.0 - 2.0 * c);
+  std::vector<double> result(2, 0.0);
+  result[catalog.IdByName("triangle")] = c32;
+  result[catalog.IdByName("wedge")] = 1.0 - c32;
+  return result;
+}
+
+}  // namespace grw

@@ -1,0 +1,59 @@
+// Hardiman–Katzir (WWW'13) random-walk estimator of the global clustering
+// coefficient — the paper's comparison method for 3-node statistics
+// (Section 6.3.1), which it shows is SRW1 "derived in a totally different
+// way".
+//
+// A simple random walk visits v_1, v_2, ...; for each interior step k the
+// indicator phi_k = 1{v_{k-1} ~ v_{k+1}} tests whether the two neighbors
+// the walk entered and left through are themselves connected. Under the
+// stationary distribution pi(v) = d_v / 2|E|,
+//
+//   E[phi * d_v] = 3T / |E|      and      E[d_v - 1] = W / |E|,
+//
+// so the ratio estimator  c_hat = sum phi_k d_{v_k} / sum (d_{v_k} - 1)
+// converges to the global clustering coefficient 3T / W, and the triangle
+// concentration follows as c32 = c / (3 - 2c) (paper Section 2.1).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grw {
+
+/// Random-walk clustering-coefficient estimator.
+class HardimanKatzir {
+ public:
+  explicit HardimanKatzir(const Graph& g);
+
+  /// Starts a fresh chain at a uniform random node.
+  void Reset(uint64_t seed);
+
+  /// Advances `steps` transitions (each interior position contributes one
+  /// phi sample).
+  void Run(uint64_t steps);
+
+  /// Estimated global clustering coefficient 3T / W.
+  double ClusteringCoefficient() const;
+
+  /// Estimated 3-node concentrations (catalog ids), derived from the
+  /// clustering coefficient.
+  std::vector<double> Concentrations() const;
+
+  uint64_t Steps() const { return steps_; }
+
+ private:
+  const Graph* g_;
+  Rng rng_;
+  VertexId prev_ = 0;
+  VertexId current_ = 0;
+  bool has_prev_ = false;
+  double phi_weighted_ = 0.0;  // sum of phi_k * d_{v_k}
+  double psi_ = 0.0;           // sum of (d_{v_k} - 1)
+  uint64_t steps_ = 0;
+};
+
+}  // namespace grw

@@ -1,0 +1,121 @@
+#include "baselines/path_sampling.h"
+
+#include <array>
+#include <cassert>
+
+#include "graphlet/catalog.h"
+#include "graphlet/classifier.h"
+#include "graphlet/noninduced.h"
+
+namespace grw {
+
+namespace {
+
+std::vector<double> PathWeights(const Graph& g, const EdgeIndex& index) {
+  std::vector<double> weights(index.NumEdges(), 0.0);
+  for (VertexId u = 0; u < g.NumNodes(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      weights[index.Id(u, v)] = static_cast<double>(g.Degree(u) - 1) *
+                                static_cast<double>(g.Degree(v) - 1);
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+PathSampler::PathSampler(const Graph& g)
+    : g_(&g), index_(g), edges_(PathWeights(g, index_)) {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(4);
+  const int path_id = catalog.IdByName("4-path");
+  beta_.resize(catalog.NumTypes());
+  for (int id = 0; id < catalog.NumTypes(); ++id) {
+    beta_[id] = EmbeddingCount(4, path_id, id);
+  }
+  exact_star_noninduced_ = 0.0;
+  for (VertexId v = 0; v < g.NumNodes(); ++v) {
+    const double d = g.Degree(v);
+    if (d >= 3) exact_star_noninduced_ += d * (d - 1) * (d - 2) / 6.0;
+  }
+}
+
+PathSamplingResult PathSampler::Run(uint64_t n, Rng& rng) const {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(4);
+  const GraphletClassifier& classifier = GraphletClassifier::ForSize(4);
+  const int star_id = catalog.IdByName("3-star");
+
+  PathSamplingResult result;
+  result.samples = n;
+  std::vector<uint64_t> hits(catalog.NumTypes(), 0);
+
+  for (uint64_t s = 0; s < n; ++s) {
+    const auto [u, v] = index_.Endpoints(edges_.Sample(rng));
+    // Uniform neighbor of u other than v (u has degree >= 2 whenever this
+    // edge has positive weight, so the skip-index trick is safe).
+    const auto pick_other = [this, &rng](VertexId base, VertexId excluded) {
+      const auto nbrs = g_->Neighbors(base);
+      size_t i = rng.UniformInt(nbrs.size() - 1);
+      // nbrs is sorted; skip over `excluded`'s position.
+      const size_t ex =
+          std::lower_bound(nbrs.begin(), nbrs.end(), excluded) -
+          nbrs.begin();
+      if (i >= ex) ++i;
+      return nbrs[i];
+    };
+    const VertexId up = pick_other(u, v);
+    const VertexId vp = pick_other(v, u);
+    if (up == vp) {
+      ++result.collisions;  // collapsed to a triangle: not a 4-node sample
+      continue;
+    }
+    const std::array<VertexId, 4> nodes = {up, u, v, vp};
+    uint32_t mask = 0;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        if (g_->HasEdge(nodes[i], nodes[j])) {
+          mask = MaskWithEdge(mask, 4, i, j);
+        }
+      }
+    }
+    const int type = classifier.Type(mask);
+    assert(type >= 0);
+    ++hits[type];
+  }
+
+  // Count estimates: each graphlet of type i holds beta_i spanning
+  // 3-paths, each sampled with probability 1/W3.
+  result.counts.assign(catalog.NumTypes(), 0.0);
+  const double w3 = TotalPathWeight();
+  for (int id = 0; id < catalog.NumTypes(); ++id) {
+    if (beta_[id] > 0 && n > 0) {
+      result.counts[id] = static_cast<double>(hits[id]) /
+                          static_cast<double>(n) * w3 /
+                          static_cast<double>(beta_[id]);
+    }
+  }
+  // Stars are invisible to 3-path sampling (beta = 0): recover them from
+  // the exact non-induced star count minus star embeddings in the denser
+  // (estimated) graphlets.
+  double star_embeddings_elsewhere = 0.0;
+  for (int id = 0; id < catalog.NumTypes(); ++id) {
+    if (id == star_id) continue;
+    star_embeddings_elsewhere +=
+        static_cast<double>(EmbeddingCount(4, star_id, id)) *
+        result.counts[id];
+  }
+  result.counts[star_id] =
+      std::max(0.0, exact_star_noninduced_ - star_embeddings_elsewhere);
+
+  double total = 0.0;
+  for (double c : result.counts) total += c;
+  result.concentrations.assign(catalog.NumTypes(), 0.0);
+  if (total > 0.0) {
+    for (size_t i = 0; i < result.counts.size(); ++i) {
+      result.concentrations[i] = result.counts[i] / total;
+    }
+  }
+  return result;
+}
+
+}  // namespace grw

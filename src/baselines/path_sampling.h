@@ -1,0 +1,58 @@
+// Path sampling (Jha, Seshadhri, Pinar — WWW'15), the paper's full-access
+// baseline for 4-node graphlet counts (Section 6.3.2).
+//
+// Draws uniform non-induced 3-paths: sample the middle edge e = (u, v)
+// with probability tau_e / W3 where tau_e = (d_u - 1)(d_v - 1) (alias
+// table, O(|E|) preprocessing), then uniform u' in N(u)\{v} and
+// v' in N(v)\{u}. Each sample with 4 distinct vertices is classified; the
+// count of graphlet i is estimated as
+//     C_i = (n_i / n) * W3 / beta_i,
+// where beta_i — computed programmatically from the embedding matrix —
+// is the number of spanning 3-paths in graphlet i. The 3-star (beta = 0)
+// is recovered from the exact non-induced star count sum_v C(d_v, 3) minus
+// the estimated star embeddings in denser graphlets, exactly the linear
+// relationship of graphlet/noninduced.h.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/alias.h"
+#include "exact/triangle.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grw {
+
+/// Result of a path-sampling run.
+struct PathSamplingResult {
+  uint64_t samples = 0;
+  /// Samples that collapsed to 3 vertices (u' == v', a triangle).
+  uint64_t collisions = 0;
+  /// Estimated induced 4-node counts/concentrations by catalog id.
+  std::vector<double> counts;
+  std::vector<double> concentrations;
+};
+
+/// Uniform 3-path sampler.
+class PathSampler {
+ public:
+  /// O(|E|) preprocessing (edge weights + alias table).
+  explicit PathSampler(const Graph& g);
+
+  /// Runs n samples and assembles estimates.
+  PathSamplingResult Run(uint64_t n, Rng& rng) const;
+
+  /// W3 = sum_e (d_u - 1)(d_v - 1): 3-edge walks centered on each edge.
+  double TotalPathWeight() const { return edges_.TotalWeight(); }
+
+ private:
+  const Graph* g_;
+  EdgeIndex index_;
+  AliasTable edges_;
+  std::vector<int64_t> beta_;     // spanning 3-paths per catalog id
+  double exact_star_noninduced_;  // sum_v C(d_v, 3)
+};
+
+}  // namespace grw

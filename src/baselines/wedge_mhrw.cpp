@@ -1,0 +1,65 @@
+#include "baselines/wedge_mhrw.h"
+
+#include <stdexcept>
+
+#include "graphlet/catalog.h"
+
+namespace grw {
+
+WedgeMhrw::WedgeMhrw(const Graph& g) : g_(&g) {
+  if (g.NumNodes() < 3) {
+    throw std::invalid_argument("WedgeMhrw: graph too small");
+  }
+}
+
+void WedgeMhrw::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  steps_ = 0;
+  closed_ = 0;
+  open_ = 0;
+  // Algorithm 4 line 3: random starting node with degree >= 2 (nodes with
+  // smaller degree carry zero target probability).
+  do {
+    current_ = static_cast<VertexId>(rng_.UniformInt(g_->NumNodes()));
+  } while (g_->Degree(current_) < 2);
+}
+
+void WedgeMhrw::Run(uint64_t steps) {
+  for (uint64_t s = 0; s < steps; ++s) {
+    const uint32_t d = g_->Degree(current_);
+    // Sample a uniform unordered pair of neighbors of the current node
+    // (Algorithm 4 line 5) and test closure.
+    const uint32_t i = static_cast<uint32_t>(rng_.UniformInt(d));
+    uint32_t j = static_cast<uint32_t>(rng_.UniformInt(d - 1));
+    if (j >= i) ++j;
+    if (g_->HasEdge(g_->Neighbor(current_, i), g_->Neighbor(current_, j))) {
+      ++closed_;
+    } else {
+      ++open_;
+    }
+    // MH move: SRW proposal, acceptance min{1, (d_w - 1)/(d_v - 1)}
+    // (lines 10-15). Proposals with d_w < 2 are always rejected.
+    const VertexId w =
+        g_->Neighbor(current_, static_cast<uint32_t>(rng_.UniformInt(d)));
+    const double ratio = static_cast<double>(g_->Degree(w) - 1) /
+                         static_cast<double>(d - 1);
+    if (g_->Degree(w) >= 2 && rng_.UniformReal() <= ratio) current_ = w;
+    ++steps_;
+  }
+}
+
+std::vector<double> WedgeMhrw::Concentrations() const {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(3);
+  std::vector<double> c(2, 0.0);
+  // Line 17: c_wedge = 3*open / (3*open + closed),
+  //          c_triangle = closed / (3*open + closed).
+  const double denom = 3.0 * static_cast<double>(open_) +
+                       static_cast<double>(closed_);
+  if (denom > 0.0) {
+    c[catalog.IdByName("wedge")] = 3.0 * static_cast<double>(open_) / denom;
+    c[catalog.IdByName("triangle")] = static_cast<double>(closed_) / denom;
+  }
+  return c;
+}
+
+}  // namespace grw

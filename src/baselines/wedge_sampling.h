@@ -1,0 +1,51 @@
+// Wedge sampling (Seshadhri, Pinar, Kolda — SDM'13), the paper's
+// full-access baseline for triadic measures (Section 6.3.2).
+//
+// Draws uniform wedges by sampling a center v with probability
+// C(d_v, 2) / W (alias table, O(|V|) preprocessing) and a uniform pair of
+// its neighbors, then checks closure. The closed-wedge fraction kappa
+// gives triangles T = kappa * W / 3 and the 3-node concentrations.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/alias.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grw {
+
+/// Result of a wedge-sampling run.
+struct WedgeSamplingResult {
+  uint64_t samples = 0;
+  uint64_t closed = 0;
+  /// Estimated triangle count T = (closed/samples) * W / 3.
+  double triangles = 0.0;
+  /// Estimated induced 3-node counts/concentrations by catalog id.
+  std::vector<double> counts;
+  std::vector<double> concentrations;
+};
+
+/// Uniform-wedge sampler with O(1) per-sample cost.
+class WedgeSampler {
+ public:
+  /// O(|V|) preprocessing (degree scan + alias table).
+  explicit WedgeSampler(const Graph& g);
+
+  /// Draws one uniform wedge; returns true iff it is closed.
+  bool SampleClosedWedge(Rng& rng) const;
+
+  /// Runs n samples and assembles estimates.
+  WedgeSamplingResult Run(uint64_t n, Rng& rng) const;
+
+  /// Total number of wedges W.
+  double TotalWedges() const { return centers_.TotalWeight(); }
+
+ private:
+  const Graph* g_;
+  AliasTable centers_;
+};
+
+}  // namespace grw

@@ -1,0 +1,62 @@
+#include "core/batch_means.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grw {
+
+BatchedEstimate EstimateWithErrorBars(const Graph& g,
+                                      const EstimatorConfig& config,
+                                      uint64_t steps, int batches,
+                                      uint64_t seed) {
+  if (batches < 2 || steps < static_cast<uint64_t>(batches)) {
+    throw std::invalid_argument(
+        "EstimateWithErrorBars: need batches >= 2 and steps >= batches");
+  }
+  GraphletEstimator estimator(g, config);
+  estimator.Reset(seed);
+
+  BatchedEstimate result;
+  const int num_types = estimator.NumTypes();
+  std::vector<double> prev_weights(num_types, 0.0);
+  uint64_t done = 0;
+  for (int b = 0; b < batches; ++b) {
+    const uint64_t target = steps * (b + 1) / batches;
+    estimator.Run(target - done);
+    done = target;
+    const EstimateResult snapshot = estimator.Result();
+    // Within-batch weights: difference of cumulative accumulators.
+    std::vector<double> batch(num_types, 0.0);
+    double total = 0.0;
+    for (int t = 0; t < num_types; ++t) {
+      batch[t] = snapshot.weights[t] - prev_weights[t];
+      total += batch[t];
+      prev_weights[t] = snapshot.weights[t];
+    }
+    if (total > 0.0) {
+      for (double& w : batch) w /= total;
+    }
+    result.batch_estimates.push_back(std::move(batch));
+  }
+
+  const EstimateResult final = estimator.Result();
+  result.concentrations = final.concentrations;
+  result.steps = final.steps;
+  result.standard_errors.assign(num_types, 0.0);
+  for (int t = 0; t < num_types; ++t) {
+    double mean = 0.0;
+    for (const auto& batch : result.batch_estimates) {
+      mean += batch[t] / batches;
+    }
+    double var = 0.0;
+    for (const auto& batch : result.batch_estimates) {
+      var += (batch[t] - mean) * (batch[t] - mean);
+    }
+    var /= (batches - 1);
+    result.standard_errors[t] =
+        std::sqrt(var / static_cast<double>(batches));
+  }
+  return result;
+}
+
+}  // namespace grw

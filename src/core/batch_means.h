@@ -1,0 +1,44 @@
+// Monte-Carlo standard errors for the estimator via batch means.
+//
+// The SLLN guarantees convergence (Theorem 1) and Theorem 3 bounds the
+// needed steps, but a practitioner crawling a live OSN has neither the
+// ground truth nor the mixing time. The standard MCMC answer is the batch
+// means method (Geyer): split the chain into B contiguous batches, form
+// the concentration estimate within each batch, and use the across-batch
+// spread of these (asymptotically independent) estimates as a standard
+// error for the full-chain estimate.
+//
+// BatchedEstimator wraps GraphletEstimator, snapshotting the accumulators
+// every `steps/batches` transitions; batch b's estimate uses only the
+// weight accumulated inside the batch (differences of snapshots).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace grw {
+
+/// Concentration estimates with batch-means standard errors.
+struct BatchedEstimate {
+  /// Full-chain concentration estimates per catalog id.
+  std::vector<double> concentrations;
+  /// Batch-means standard error per catalog id: the standard deviation
+  /// of the per-batch concentration estimates divided by sqrt(B).
+  std::vector<double> standard_errors;
+  /// The per-batch concentration estimates, [batch][type].
+  std::vector<std::vector<double>> batch_estimates;
+  uint64_t steps = 0;
+};
+
+/// Runs one chain of `config` for `steps` transitions split into
+/// `batches` equal batches and assembles batch-means error bars.
+/// Requires batches >= 2 and steps >= batches.
+BatchedEstimate EstimateWithErrorBars(const Graph& g,
+                                      const EstimatorConfig& config,
+                                      uint64_t steps, int batches,
+                                      uint64_t seed);
+
+}  // namespace grw

@@ -1,0 +1,143 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/alpha.h"
+#include "graphlet/catalog.h"
+#include "util/rng.h"
+
+namespace grw {
+
+double LazyWalkSpectralGap(const Graph& g, int iterations) {
+  const VertexId n = g.NumNodes();
+  if (n < 2) return 1.0;
+  if (n > 5000) {
+    throw std::invalid_argument(
+        "LazyWalkSpectralGap: analysis-size graphs only (n <= 5000)");
+  }
+  const double two_m = 2.0 * static_cast<double>(g.NumEdges());
+
+  // Power iteration on P_lazy, deflating the top eigenvector, which for
+  // the reversible lazy walk is known exactly: phi_1(v) ∝ sqrt(pi(v)),
+  // in the symmetric similarity transform S = D^{1/2} P D^{-1/2}.
+  // We iterate x <- S_lazy x with S = D^{-1/2} A D^{-1/2}:
+  //   (S x)(v) = sum_{w ~ v} x(w) / sqrt(d_v d_w).
+  std::vector<double> sqrt_deg(n);
+  std::vector<double> phi1(n);
+  for (VertexId v = 0; v < n; ++v) {
+    sqrt_deg[v] = std::sqrt(static_cast<double>(g.Degree(v)));
+    phi1[v] = sqrt_deg[v] / std::sqrt(two_m);  // unit norm
+  }
+
+  Rng rng(0x9a9);
+  std::vector<double> x(n);
+  std::vector<double> next(n);
+  for (VertexId v = 0; v < n; ++v) x[v] = rng.UniformReal() - 0.5;
+
+  auto deflate_and_normalize = [&](std::vector<double>& vec) {
+    double dot = 0.0;
+    for (VertexId v = 0; v < n; ++v) dot += vec[v] * phi1[v];
+    double norm = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      vec[v] -= dot * phi1[v];
+      norm += vec[v] * vec[v];
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (VertexId v = 0; v < n; ++v) vec[v] /= norm;
+    }
+    return norm;
+  };
+  deflate_and_normalize(x);
+
+  double lambda2 = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (VertexId w : g.Neighbors(v)) {
+        acc += x[w] / (sqrt_deg[v] * sqrt_deg[w]);
+      }
+      next[v] = 0.5 * (x[v] + acc);  // lazy: (I + S)/2
+    }
+    std::swap(x, next);
+    const double norm = deflate_and_normalize(x);
+    if (it > 16 && std::abs(norm - lambda2) < 1e-12) {
+      lambda2 = norm;
+      break;
+    }
+    lambda2 = norm;
+  }
+  return std::clamp(1.0 - lambda2, 1e-12, 1.0);
+}
+
+double MixingTimeUpperBound(const Graph& g, double eps, int iterations) {
+  const double gap = LazyWalkSpectralGap(g, iterations);
+  double min_deg = g.Degree(0);
+  for (VertexId v = 1; v < g.NumNodes(); ++v) {
+    min_deg = std::min<double>(min_deg, g.Degree(v));
+  }
+  const double pi_min = min_deg / (2.0 * static_cast<double>(g.NumEdges()));
+  return std::ceil(std::log(1.0 / (eps * pi_min)) / gap);
+}
+
+SampleSizeBound ComputeSampleSizeBound(
+    const Graph& g, int k, int d,
+    const std::vector<double>& concentrations, double eps) {
+  if (d < 1 || d > 2 || d >= k) {
+    throw std::invalid_argument("ComputeSampleSizeBound: need d in {1,2}");
+  }
+  SampleSizeBound bound;
+  const int l = k - d + 1;
+
+  // W: a state's weight 1 / ~pi_e is the product of its l-2 interior
+  // degrees; it is maximized by the maximum G(d) state degree.
+  double max_state_degree = 1.0;
+  if (d == 1) {
+    max_state_degree = g.MaxDegree();
+  } else {
+    for (VertexId u = 0; u < g.NumNodes(); ++u) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (v > u) {
+          max_state_degree = std::max(
+              max_state_degree,
+              static_cast<double>(g.Degree(u)) + g.Degree(v) - 2);
+        }
+      }
+    }
+  }
+  bound.w = std::pow(max_state_degree, std::max(0, l - 2));
+
+  bound.tau = MixingTimeUpperBound(g);
+
+  const auto alpha = AlphaTable(k, d);
+  double alpha_min = 0.0;
+  for (int64_t a : alpha) {
+    if (a > 0) {
+      alpha_min = alpha_min == 0.0
+                      ? static_cast<double>(a)
+                      : std::min(alpha_min, static_cast<double>(a));
+    }
+  }
+  bound.lambda.resize(alpha.size());
+  bound.relative_steps.resize(alpha.size());
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    if (alpha[i] == 0 || concentrations[i] <= 0.0) {
+      bound.lambda[i] = 0.0;
+      bound.relative_steps[i] =
+          std::numeric_limits<double>::infinity();
+      continue;
+    }
+    // Lambda in concentration form: min{alpha_i c_i, alpha_min * 1}
+    // (C^k normalizes to 1; the absolute scale cancels in comparisons).
+    bound.lambda[i] = std::min(
+        static_cast<double>(alpha[i]) * concentrations[i], alpha_min);
+    bound.relative_steps[i] =
+        bound.w * bound.tau / (bound.lambda[i] * eps * eps);
+  }
+  return bound;
+}
+
+}  // namespace grw

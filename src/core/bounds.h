@@ -1,0 +1,68 @@
+// Theorem 3 machinery: the Chernoff–Hoeffding sample-size bound for the
+// framework's estimators.
+//
+//   n >= xi * (W / Lambda) * (tau / eps^2) * log(||phi||_pie / delta),
+//
+// where W = max 1/pi_e(X) over expanded-chain states, Lambda =
+// min{alpha^k_i C^k_i, alpha_min C^k}, and tau is the walk's mixing time
+// tau(1/8). This module computes each ingredient exactly on analysis-size
+// graphs:
+//
+//  * the spectral gap of the lazy simple random walk on G (dense power
+//    iteration; the mixing-time bound tau(eps) <= log(1/(eps*pi_min)) /
+//    gap follows from standard reversible-chain theory),
+//  * W from the maximum degree of G(d) (interior states maximize
+//    1/pi_e when their degrees do),
+//  * Lambda from alpha (Algorithm 2) and exact counts.
+//
+// The theorem predicts *relative* difficulty: rare graphlets with small
+// alpha*C need more steps, and walks that lift the weighted concentration
+// (small d) need fewer — the quantitative story behind Figure 5. The
+// bench `bench_theory_bound` compares these predictions with measured
+// NRMSE.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Spectral gap 1 - lambda_2 of the *lazy* simple random walk on g
+/// (P_lazy = (I + P)/2, guaranteeing a real spectrum in [0, 1]).
+/// Dense O(n^2)-memory computation — analysis-size graphs only
+/// (n <= ~4000). `iterations` bounds the power-iteration steps.
+double LazyWalkSpectralGap(const Graph& g, int iterations = 2000);
+
+/// Upper bound on the mixing time tau(eps) of the lazy walk from the
+/// spectral gap: ceil(log(1 / (eps * pi_min)) / gap).
+double MixingTimeUpperBound(const Graph& g, double eps = 0.125,
+                            int iterations = 2000);
+
+/// Ingredients of the Theorem 3 bound for one (k, d) configuration.
+struct SampleSizeBound {
+  /// W = max over expanded states of 1 / ~pi_e (relative scale; the
+  /// 2|R(d)| factor cancels against Lambda's concentration form).
+  double w = 0.0;
+  /// Lambda_i = min{alpha_i c_i, alpha_min * 1} in concentration form,
+  /// per graphlet type (catalog ids). Zero when alpha_i = 0 (the type is
+  /// unobservable and the bound is vacuous).
+  std::vector<double> lambda;
+  /// Mixing-time upper bound of the underlying walk (lazy-walk proxy).
+  double tau = 0.0;
+  /// Relative required steps per type: W * tau / (lambda_i * eps^2) —
+  /// the Theorem 3 scaling with xi * log(.../delta) stripped, for
+  /// comparing difficulty across types and configurations.
+  std::vector<double> relative_steps;
+};
+
+/// Evaluates the bound's ingredients. `concentrations` are the exact (or
+/// estimated) c^k_i per catalog id. Requires d <= 2 for closed-form state
+/// degrees (the supported analysis path).
+SampleSizeBound ComputeSampleSizeBound(const Graph& g, int k, int d,
+                                       const std::vector<double>& concentrations,
+                                       double eps = 0.1);
+
+}  // namespace grw

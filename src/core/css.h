@@ -1,0 +1,89 @@
+// Corresponding state sampling (CSS) weights — paper Section 4.1.
+//
+// CSS replaces the re-weight term alpha^k_i * pi_e(X) by the *sampling
+// probability* p(X) = sum over all corresponding states X' in C(s) of
+// pi_e(X'), which uses the degree information of every vertex of the
+// sampled subgraph instead of only the interior of the one sequence the
+// walk happened to traverse. Lemma 5 shows the resulting estimator has no
+// larger variance.
+//
+// Evaluating p(X) per Algorithm 3 naively enumerates sequences at every
+// step. We instead compile, once per (k, d, graphlet type), the sequences
+// into *interior coefficient tables*: for l = k-d+1 the expanded-chain
+// weight of a sequence depends only on its l-2 interior states, so
+//
+//   2|R(d)| p(X) = sum_entries count(entry) * prod_{state in entry}
+//                  1 / deg_{G(d)}(state),
+//
+// where entries group sequences by their (unordered) interior state
+// multiset. For SRW1/k=3 and SRW2/k=4 this reproduces the closed forms of
+// paper Table 4; for SRW2/k=5 it is a <=100-term sum — a handful of
+// multiply-adds per step instead of a path enumeration.
+//
+// For d >= 3 the interior state degrees are G(d)-degrees of subgraph
+// states, which require on-the-fly neighbor enumeration; CssWeightDirect
+// implements this (the "SRW3CSS" the paper deems too expensive to bench).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graphlet/classifier.h"
+
+namespace grw {
+
+/// One group of corresponding sequences sharing an interior state multiset.
+struct CssEntry {
+  /// Interior states as vertex bitmasks over canonical labels, sorted.
+  std::array<uint16_t, 4> interior = {};
+  uint8_t num_interior = 0;
+  /// Number of corresponding sequences with this interior multiset.
+  uint32_t count = 0;
+};
+
+/// Compiled CSS weights for all graphlets of one size under one walk.
+class CssTable {
+ public:
+  /// Builds the table for k-node graphlets under a walk on G(d), d <= 2.
+  /// (d >= 3 weights need per-state degree probes; use CssWeightDirect.)
+  CssTable(int k, int d);
+
+  int k() const { return k_; }
+  int d() const { return d_; }
+
+  /// The compiled entries for a catalog graphlet id.
+  const std::vector<CssEntry>& Entries(int type) const {
+    return entries_[type];
+  }
+
+  /// Evaluates 2|R(d)| * p(X) for a sample with classification `info`
+  /// (from GraphletClassifier) whose window vertices are `nodes` (the
+  /// order the mask was built in). `nb` applies the non-backtracking
+  /// nominal degree d' = max(d-1, 1).
+  double Eval(const MaskInfo& info, std::span<const VertexId> nodes,
+              const Graph& g, bool nb) const;
+
+  /// Shared singleton per (k, d); thread-safe.
+  static const CssTable& For(int k, int d);
+
+ private:
+  int k_;
+  int d_;
+  std::vector<std::vector<CssEntry>> entries_;  // per catalog id
+};
+
+/// Direct Algorithm-3 evaluation of 2|R(d)| * p(X) for any d, using a
+/// caller-supplied G(d)-degree probe for interior states (node ids of the
+/// real graph). Expensive for d >= 3; exact for all d (used to cross-check
+/// CssTable in tests).
+double CssWeightDirect(
+    int k, int d, const MaskInfo& info, std::span<const VertexId> nodes,
+    const std::function<uint64_t(std::span<const VertexId>)>& state_degree,
+    bool nb);
+
+}  // namespace grw

@@ -1,0 +1,181 @@
+#include "core/estimator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/alpha.h"
+#include "core/rsize.h"
+#include "walk/edge_walk.h"
+#include "walk/node_walk.h"
+#include "walk/subgraph_walk.h"
+
+namespace grw {
+
+std::string EstimatorConfig::Name() const {
+  std::string name = "SRW" + std::to_string(d);
+  if (css) name += "CSS";
+  if (nb) name += "NB";
+  return name;
+}
+
+namespace {
+
+std::unique_ptr<StateWalker> MakeWalker(const Graph& g, int d, bool nb) {
+  if (d == 1) return std::make_unique<NodeWalk>(g, nb);
+  if (d == 2) return std::make_unique<EdgeWalk>(g, nb);
+  return std::make_unique<SubgraphWalk>(g, d, nb);
+}
+
+// Validated before any member initializer touches the k-indexed
+// singletons (catalog, classifier, CSS tables).
+EstimatorConfig ValidateConfig(const EstimatorConfig& config) {
+  if (config.k < 3 || config.k > kMaxGraphletSize) {
+    throw std::invalid_argument("GraphletEstimator: k out of range");
+  }
+  if (config.d < 1 || config.d >= config.k) {
+    throw std::invalid_argument("GraphletEstimator: need 1 <= d < k");
+  }
+  return config;
+}
+
+}  // namespace
+
+GraphletEstimator::GraphletEstimator(const Graph& g,
+                                     const EstimatorConfig& config)
+    : g_(&g),
+      config_(ValidateConfig(config)),
+      l_(config.k - config.d + 1),
+      num_types_(GraphletCatalog::ForSize(config.k).NumTypes()),
+      classifier_(&GraphletClassifier::ForSize(config.k)),
+      alpha_(AlphaTable(config.k, config.d)),
+      walker_(MakeWalker(g, config.d, config.nb)),
+      window_(g, config.k, l_) {
+  weights_.assign(num_types_, 0.0);
+  samples_.assign(num_types_, 0);
+  if (config.css && config.d <= 2) {
+    css_table_ = &CssTable::For(config.k, config.d);
+  }
+}
+
+void GraphletEstimator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+  std::fill(samples_.begin(), samples_.end(), 0);
+  steps_ = 0;
+  valid_samples_ = 0;
+
+  walker_->Reset(rng_);
+  window_.Clear();
+  window_.Push(walker_->Nodes(), 0);
+  // Fill the window: l states need l-1 transitions (Algorithm 1 line 3).
+  for (int i = 1; i < l_; ++i) {
+    window_.SetNewestDegree(walker_->StateDegree());
+    walker_->Step(rng_);
+    window_.Push(walker_->Nodes(), 0);
+  }
+  for (uint64_t i = 0; i < config_.burn_in; ++i) {
+    window_.SetNewestDegree(walker_->StateDegree());
+    walker_->Step(rng_);
+    window_.Push(walker_->Nodes(), 0);
+  }
+}
+
+void GraphletEstimator::Run(uint64_t steps) {
+  for (uint64_t i = 0; i < steps; ++i) {
+    // A state's G(d)-degree becomes known before we leave it; snapshot it,
+    // transition, then evaluate the new window.
+    window_.SetNewestDegree(walker_->StateDegree());
+    walker_->Step(rng_);
+    window_.Push(walker_->Nodes(), 0);
+    ++steps_;
+    Accumulate();
+  }
+}
+
+void GraphletEstimator::Accumulate() {
+  if (!window_.Valid()) return;  // fewer than k distinct nodes: invalid
+  const uint32_t mask = window_.Mask();
+  const MaskInfo& info = classifier_->Info(mask);
+  assert(info.type >= 0 && "window union must induce a connected subgraph");
+  const double w = SampleWeight(info);
+  weights_[info.type] += w;
+  samples_[info.type]++;
+  ++valid_samples_;
+}
+
+double GraphletEstimator::SampleWeight(const MaskInfo& info) const {
+  if (css_table_ != nullptr) {
+    // CSS, d <= 2: compiled interior-coefficient tables.
+    return 1.0 /
+           css_table_->Eval(info, window_.UnionNodes(), *g_, config_.nb);
+  }
+  if (config_.css) {
+    // CSS, d >= 3: direct Algorithm-3 evaluation with per-state G(d)
+    // degree probes (expensive — the paper's "SRW3CSS" caveat).
+    const auto probe = [this](std::span<const VertexId> state) {
+      return SubgraphStateDegree(*g_, state);
+    };
+    return 1.0 / CssWeightDirect(config_.k, config_.d, info,
+                                 window_.UnionNodes(), probe, config_.nb);
+  }
+  // Base estimator: 1 / (alpha^k_i * ~pi_e(X)) with
+  // ~pi_e = prod over interior states of 1/degree (Theorem 2; nominal
+  // degrees under NB, Section 4.2).
+  const int64_t alpha = alpha_[info.type];
+  assert(alpha > 0 && "observed a graphlet the walk cannot produce");
+  double interior_product = 1.0;
+  for (int t = 1; t + 1 < l_; ++t) {
+    uint64_t deg = window_.State(t).degree;
+    assert(deg > 0 && "interior state degree not recorded");
+    if (config_.nb && deg > 1) deg -= 1;
+    interior_product *= static_cast<double>(deg);
+  }
+  return interior_product / static_cast<double>(alpha);
+}
+
+EstimateResult GraphletEstimator::Result() const {
+  EstimateResult result;
+  result.weights = weights_;
+  result.samples = samples_;
+  result.steps = steps_;
+  result.valid_samples = valid_samples_;
+  result.concentrations.assign(num_types_, 0.0);
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  if (total > 0.0) {
+    for (int i = 0; i < num_types_; ++i) {
+      result.concentrations[i] = weights_[i] / total;
+    }
+  }
+  return result;
+}
+
+std::vector<double> GraphletEstimator::CountEstimates() const {
+  if (config_.d > 2) {
+    throw std::logic_error(
+        "CountEstimates(): no closed-form |R(d)| for d >= 3; pass it "
+        "explicitly");
+  }
+  return CountEstimates(RelationshipEdgeCount(*g_, config_.d));
+}
+
+std::vector<double> GraphletEstimator::CountEstimates(
+    uint64_t relationship_edges) const {
+  std::vector<double> counts(num_types_, 0.0);
+  if (steps_ == 0) return counts;
+  const double scale = 2.0 * static_cast<double>(relationship_edges) /
+                       static_cast<double>(steps_);
+  for (int i = 0; i < num_types_; ++i) counts[i] = weights_[i] * scale;
+  return counts;
+}
+
+EstimateResult GraphletEstimator::Estimate(const Graph& g,
+                                           const EstimatorConfig& config,
+                                           uint64_t steps, uint64_t seed) {
+  GraphletEstimator estimator(g, config);
+  estimator.Reset(seed);
+  estimator.Run(steps);
+  return estimator.Result();
+}
+
+}  // namespace grw

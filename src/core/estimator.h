@@ -1,0 +1,126 @@
+// The paper's estimator (Algorithm 1) — the core public API of this
+// library.
+//
+// GraphletEstimator runs a random walk on G(d), turns every transition
+// into a candidate k-node sample from the last l = k-d+1 states, and
+// accumulates the re-weighted indicator of each graphlet type:
+//
+//   base       weight = prod(interior state degrees) / alpha^k_i
+//                       (the 1 / (alpha^k_i * ~pi_e(X)) of Eq. 4/5),
+//   CSS        weight = 1 / ~p(X)   (Section 4.1, Eq. 7/8),
+//   NB         nominal degrees d' = max(d-1, 1) substituted throughout
+//                       (Section 4.2),
+//
+// yielding asymptotically unbiased concentration estimates
+// c^k_i = W_i / sum_j W_j, and count estimates via 2|R(d)| (Eq. 4) when
+// |R(d)| is computable (closed forms for d <= 2).
+//
+// Method naming matches the paper: config {d=1} is SRW1, {d=2,css=true}
+// is SRW2CSS, {d=1,css=true,nb=true} is SRW1CSSNB, and {d=k-1} is PSRW.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/css.h"
+#include "core/sample_window.h"
+#include "graph/graph.h"
+#include "graphlet/classifier.h"
+#include "util/rng.h"
+#include "walk/walker.h"
+
+namespace grw {
+
+/// Configuration of one estimator instance.
+struct EstimatorConfig {
+  /// Graphlet size k, 3 <= k <= kMaxGraphletSize.
+  int k = 4;
+  /// Walk dimension d, 1 <= d < k. Smaller d is faster and (the paper's
+  /// central finding) usually more accurate; d = k-1 reproduces PSRW.
+  int d = 2;
+  /// Corresponding state sampling (Section 4.1).
+  bool css = false;
+  /// Non-backtracking walk (Section 4.2).
+  bool nb = false;
+  /// Transitions discarded after Reset() before accumulation begins.
+  /// The paper uses none (Algorithm 1); exposed for experimentation.
+  uint64_t burn_in = 0;
+
+  /// Paper-style method name, e.g. "SRW2CSS", "SRW1CSSNB".
+  std::string Name() const;
+};
+
+/// Accumulated estimates of one chain.
+struct EstimateResult {
+  /// c^k_i per catalog id; sums to 1 when any valid sample was seen.
+  std::vector<double> concentrations;
+  /// Raw accumulators W_i = sum of per-sample weights, per catalog id.
+  std::vector<double> weights;
+  /// Number of valid samples classified per type.
+  std::vector<uint64_t> samples;
+  /// Transitions performed (the paper's sample budget n).
+  uint64_t steps = 0;
+  /// Windows covering exactly k distinct vertices.
+  uint64_t valid_samples = 0;
+};
+
+/// Random-walk graphlet concentration/count estimator.
+class GraphletEstimator {
+ public:
+  /// The graph must be connected (run LargestConnectedComponent first)
+  /// and large enough for the chosen walk (> d nodes).
+  /// Throws std::invalid_argument on bad configuration.
+  GraphletEstimator(const Graph& g, const EstimatorConfig& config);
+
+  /// Starts a fresh chain: re-seeds the RNG, picks a random initial state,
+  /// walks l-1 transitions to fill the window (Algorithm 1 line 3) plus
+  /// config.burn_in discarded transitions, and zeroes all accumulators.
+  void Reset(uint64_t seed);
+
+  /// Advances the chain `steps` transitions, accumulating one candidate
+  /// sample per transition.
+  void Run(uint64_t steps);
+
+  /// Current estimates. Cheap; can be called repeatedly mid-run (used by
+  /// the convergence experiments, paper Figure 6).
+  EstimateResult Result() const;
+
+  /// Count estimates C^k_i (Eq. 4) using the closed-form |R(d)|;
+  /// requires d <= 2. For d >= 3 pass a precomputed |R(d)|.
+  std::vector<double> CountEstimates() const;
+  std::vector<double> CountEstimates(uint64_t relationship_edges) const;
+
+  const EstimatorConfig& config() const { return config_; }
+  int NumTypes() const { return num_types_; }
+  uint64_t Steps() const { return steps_; }
+
+  /// Convenience: one-shot estimate with a fresh chain.
+  static EstimateResult Estimate(const Graph& g,
+                                 const EstimatorConfig& config,
+                                 uint64_t steps, uint64_t seed);
+
+ private:
+  void Accumulate();
+  double SampleWeight(const MaskInfo& info) const;
+
+  const Graph* g_;
+  EstimatorConfig config_;
+  int l_;
+  int num_types_;
+  const GraphletClassifier* classifier_;
+  std::vector<int64_t> alpha_;
+  const CssTable* css_table_ = nullptr;  // only when css && d <= 2
+  std::unique_ptr<StateWalker> walker_;
+  SampleWindow window_;
+  Rng rng_;
+
+  std::vector<double> weights_;
+  std::vector<uint64_t> samples_;
+  uint64_t steps_ = 0;
+  uint64_t valid_samples_ = 0;
+};
+
+}  // namespace grw

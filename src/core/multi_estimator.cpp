@@ -1,0 +1,138 @@
+#include "core/multi_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/alpha.h"
+#include "walk/edge_walk.h"
+#include "walk/node_walk.h"
+#include "walk/subgraph_walk.h"
+
+namespace grw {
+
+namespace {
+
+std::unique_ptr<StateWalker> MakeWalker(const Graph& g, int d, bool nb) {
+  if (d == 1) return std::make_unique<NodeWalk>(g, nb);
+  if (d == 2) return std::make_unique<EdgeWalk>(g, nb);
+  return std::make_unique<SubgraphWalk>(g, d, nb);
+}
+
+}  // namespace
+
+MultiSizeEstimator::MultiSizeEstimator(const Graph& g, int d,
+                                       std::vector<int> sizes, bool css,
+                                       bool nb)
+    : g_(&g), d_(d), css_(css), nb_(nb), sizes_(std::move(sizes)) {
+  if (sizes_.empty()) {
+    throw std::invalid_argument("MultiSizeEstimator: no sizes");
+  }
+  std::sort(sizes_.begin(), sizes_.end());
+  sizes_.erase(std::unique(sizes_.begin(), sizes_.end()), sizes_.end());
+  for (int k : sizes_) {
+    if (k <= d || k > kMaxGraphletSize) {
+      throw std::invalid_argument(
+          "MultiSizeEstimator: every size must satisfy d < k <= max");
+    }
+    if (css && d > 2) {
+      throw std::invalid_argument(
+          "MultiSizeEstimator: CSS tables exist for d <= 2 only");
+    }
+  }
+  walker_ = MakeWalker(g, d, nb);
+  for (int k : sizes_) {
+    PerSize size;
+    size.k = k;
+    size.l = k - d + 1;
+    size.classifier = &GraphletClassifier::ForSize(k);
+    size.alpha = AlphaTable(k, d);
+    if (css) size.css_table = &CssTable::For(k, d);
+    size.window = std::make_unique<SampleWindow>(g, k, size.l);
+    size.weights.assign(GraphletCatalog::ForSize(k).NumTypes(), 0.0);
+    size.samples.assign(size.weights.size(), 0);
+    per_size_.push_back(std::move(size));
+  }
+}
+
+void MultiSizeEstimator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  steps_ = 0;
+  walker_->Reset(rng_);
+  const int max_l = per_size_.back().l;  // sizes_ sorted ascending
+  for (PerSize& size : per_size_) {
+    size.window->Clear();
+    std::fill(size.weights.begin(), size.weights.end(), 0.0);
+    std::fill(size.samples.begin(), size.samples.end(), 0);
+    size.valid = 0;
+    size.window->Push(walker_->Nodes(), 0);
+  }
+  // Warm every window with max_l - 1 transitions (the longest window
+  // dictates the shared warm-up; shorter windows are simply full
+  // earlier).
+  for (int i = 1; i < max_l; ++i) {
+    const uint64_t degree = walker_->StateDegree();
+    for (PerSize& size : per_size_) size.window->SetNewestDegree(degree);
+    walker_->Step(rng_);
+    for (PerSize& size : per_size_) size.window->Push(walker_->Nodes(), 0);
+  }
+}
+
+void MultiSizeEstimator::Run(uint64_t steps) {
+  for (uint64_t s = 0; s < steps; ++s) {
+    const uint64_t degree = walker_->StateDegree();
+    for (PerSize& size : per_size_) size.window->SetNewestDegree(degree);
+    walker_->Step(rng_);
+    for (PerSize& size : per_size_) {
+      size.window->Push(walker_->Nodes(), 0);
+      Accumulate(size);
+    }
+    ++steps_;
+  }
+}
+
+void MultiSizeEstimator::Accumulate(PerSize& size) const {
+  if (!size.window->Valid()) return;
+  const uint32_t mask = size.window->Mask();
+  const MaskInfo& info = size.classifier->Info(mask);
+  assert(info.type >= 0);
+  double w;
+  if (size.css_table != nullptr) {
+    w = 1.0 / size.css_table->Eval(info, size.window->UnionNodes(), *g_,
+                                   nb_);
+  } else {
+    double interior = 1.0;
+    for (int t = 1; t + 1 < size.l; ++t) {
+      uint64_t deg = size.window->State(t).degree;
+      if (nb_ && deg > 1) deg -= 1;
+      interior *= static_cast<double>(deg);
+    }
+    w = interior / static_cast<double>(size.alpha[info.type]);
+  }
+  size.weights[info.type] += w;
+  size.samples[info.type]++;
+  size.valid++;
+}
+
+EstimateResult MultiSizeEstimator::Result(int k) const {
+  for (const PerSize& size : per_size_) {
+    if (size.k != k) continue;
+    EstimateResult result;
+    result.weights = size.weights;
+    result.samples = size.samples;
+    result.steps = steps_;
+    result.valid_samples = size.valid;
+    result.concentrations.assign(size.weights.size(), 0.0);
+    double total = 0.0;
+    for (double w : size.weights) total += w;
+    if (total > 0.0) {
+      for (size_t i = 0; i < size.weights.size(); ++i) {
+        result.concentrations[i] = size.weights[i] / total;
+      }
+    }
+    return result;
+  }
+  throw std::invalid_argument("MultiSizeEstimator: size not registered");
+}
+
+}  // namespace grw

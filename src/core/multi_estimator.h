@@ -1,0 +1,74 @@
+// Joint estimation of several graphlet sizes from ONE random walk.
+//
+// The paper's related work (Section 1.1) describes MSS — Wang et al.'s
+// extension of PSRW that estimates (k-1, k, k+1)-node statistics jointly.
+// In this framework the same capability falls out naturally: a single walk
+// on G(d) feeds a window of length l_k = k - d + 1 for every requested k,
+// so one crawl pays for all sizes at once. Each size's estimator is the
+// standard one (Algorithm 1 with its own alpha / CSS weights); samples
+// across sizes share the walk and are therefore correlated, but each
+// size's estimate retains its own asymptotic unbiasedness.
+//
+// This is the natural API for crawl-budget-limited studies: estimate
+// 3-, 4- and 5-node concentrations from one pass with d = 2.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace grw {
+
+/// One walk, many graphlet sizes.
+class MultiSizeEstimator {
+ public:
+  /// `sizes` must all satisfy d < k <= kMaxGraphletSize. `css`/`nb`
+  /// apply to every size (CSS is skipped per-size where d > 2 tables are
+  /// unavailable... d <= 2 recommended).
+  MultiSizeEstimator(const Graph& g, int d, std::vector<int> sizes,
+                     bool css = false, bool nb = false);
+
+  /// Starts a fresh shared chain.
+  void Reset(uint64_t seed);
+
+  /// Advances the shared walk `steps` transitions; every size extracts
+  /// one candidate sample per transition.
+  void Run(uint64_t steps);
+
+  /// Result for one of the registered sizes.
+  EstimateResult Result(int k) const;
+
+  const std::vector<int>& Sizes() const { return sizes_; }
+  uint64_t Steps() const { return steps_; }
+
+ private:
+  struct PerSize {
+    int k;
+    int l;
+    const GraphletClassifier* classifier;
+    std::vector<int64_t> alpha;
+    const CssTable* css_table = nullptr;
+    std::unique_ptr<SampleWindow> window;
+    std::vector<double> weights;
+    std::vector<uint64_t> samples;
+    uint64_t valid = 0;
+  };
+
+  void Accumulate(PerSize& size) const;
+
+  const Graph* g_;
+  int d_;
+  bool css_;
+  bool nb_;
+  std::vector<int> sizes_;
+  std::unique_ptr<StateWalker> walker_;
+  std::vector<PerSize> per_size_;
+  Rng rng_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace grw

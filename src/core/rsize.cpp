@@ -1,0 +1,29 @@
+#include "core/rsize.h"
+
+#include <cassert>
+
+#include "exact/esu.h"
+#include "walk/subgraph_walk.h"
+
+namespace grw {
+
+uint64_t RelationshipEdgeCount(const Graph& g, int d) {
+  assert(d >= 1);
+  if (d == 1) return g.NumEdges();
+  if (d == 2) {
+    // deg_{G(2)}(e_uv) = d_u + d_v - 2; summing over edges double-counts
+    // each R(2) edge, and the sum telescopes to sum_v C(d_v, 2).
+    return g.WedgeCount();
+  }
+  // General case: sum of G(d) state degrees over all of H(d), halved.
+  uint64_t degree_sum = 0;
+  std::vector<VertexId> sorted;
+  ForEachConnectedSubgraph(g, d, [&](std::span<const VertexId> nodes) {
+    sorted.assign(nodes.begin(), nodes.end());
+    std::sort(sorted.begin(), sorted.end());
+    degree_sum += SubgraphStateDegree(g, sorted);
+  });
+  return degree_sum / 2;
+}
+
+}  // namespace grw

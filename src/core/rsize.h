@@ -1,0 +1,22 @@
+// |R(d)|: the number of edges of the subgraph relationship graph G(d).
+//
+// The concentration estimator never needs |R(d)| (it cancels, paper
+// Section 3.3 Remarks), but the *count* estimator of Eq. (4) does:
+//   C^k_i = (2|R(d)| / n) * sum_s h^k_i(X_s) / (alpha^k_i * ~pi_e(X_s)).
+// Closed forms exist for d = 1 (|E|) and d = 2 (sum_v C(d_v, 2), one pass
+// over degrees — the paper's "single pass of graph data"). For d >= 3 we
+// enumerate H(d) and sum state degrees; that is exponential-ish and only
+// used on small graphs in tests.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// |R(d)| for the given graph. d >= 3 is expensive (full H(d) enumeration).
+uint64_t RelationshipEdgeCount(const Graph& g, int d);
+
+}  // namespace grw

@@ -1,0 +1,114 @@
+// Sliding window over the last l states of a walk on G(d), maintaining the
+// union vertex set and its induced adjacency incrementally.
+//
+// Paper Section 5 ("Identify Graphlet Types"): because consecutive states
+// share d-1 nodes, at most one vertex enters the union per step, so its
+// adjacency against the <= k-1 retained vertices costs k-1 binary searches
+// — versus C(k,2) for rebuilding from scratch. Both paths are implemented;
+// tests assert they agree and the micro bench measures the gap.
+//
+// The window also snapshots each state's G(d)-degree (provided by the
+// caller as states are pushed) because the expanded-chain weight of a
+// sample needs the degrees of the *interior* states (Theorem 2).
+
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graphlet/catalog.h"
+
+namespace grw {
+
+/// One state in the window.
+struct WindowState {
+  std::array<VertexId, kMaxGraphletSize> nodes = {};
+  uint8_t num_nodes = 0;
+  /// Degree of this state in G(d); filled when known (a state's degree is
+  /// discovered when the walk steps *from* it, so the newest state's
+  /// degree may lag one step behind — interiors are always filled).
+  uint64_t degree = 0;
+};
+
+/// Sliding window of l consecutive d-node states.
+class SampleWindow {
+ public:
+  /// k: graphlet size, l = k - d + 1 states per window.
+  SampleWindow(const Graph& g, int k, int l)
+      : g_(&g), k_(k), l_(l) {
+    assert(l >= 2 && k >= 3 && k <= kMaxGraphletSize);
+    states_.resize(l);
+  }
+
+  /// Clears the window (new chain).
+  void Clear() {
+    size_ = 0;
+    head_ = 0;
+    registry_size_ = 0;
+  }
+
+  /// Pushes the walker's new state (d node ids, any order); evicts the
+  /// oldest state when the window is full. `state_degree` is the state's
+  /// G(d)-degree if already known, or 0 to fill in later via
+  /// SetNewestDegree().
+  void Push(std::span<const VertexId> nodes, uint64_t state_degree);
+
+  /// Records the newest state's G(d)-degree once the walk knows it.
+  void SetNewestDegree(uint64_t degree) {
+    assert(size_ > 0);
+    StateAt(size_ - 1).degree = degree;
+  }
+
+  bool Full() const { return size_ == l_; }
+
+  /// True iff the window is full and covers exactly k distinct vertices —
+  /// i.e. it is a valid k-node graphlet sample (paper Figure 3).
+  bool Valid() const { return Full() && registry_size_ == k_; }
+
+  /// Union vertices in first-appearance order. Matches the vertex order
+  /// used by Mask().
+  std::span<const VertexId> UnionNodes() const {
+    return {registry_nodes_.data(), static_cast<size_t>(registry_size_)};
+  }
+
+  /// Induced adjacency mask over UnionNodes() order. Requires Valid().
+  uint32_t Mask() const;
+
+  /// Oldest-first access to the window's states; index 0 is X_1 of the
+  /// paper's X^(l). Requires i < l and Full().
+  const WindowState& State(int i) const {
+    assert(Full());
+    return states_[(head_ + i) % l_];
+  }
+
+  /// Recomputes the mask from scratch with C(k,2) adjacency queries —
+  /// the naive path, for tests and the ablation micro bench.
+  uint32_t MaskNaive() const;
+
+ private:
+  WindowState& StateAt(int i) { return states_[(head_ + i) % l_]; }
+
+  void AddVertex(VertexId v);
+  void ReleaseVertex(VertexId v);
+
+  const Graph* g_;
+  int k_;
+  int l_;
+  std::vector<WindowState> states_;
+  int size_ = 0;
+  int head_ = 0;
+
+  // Union registry: vertices in first-appearance order with reference
+  // counts (number of window states containing each), plus the adjacency
+  // matrix in registry order. Union size never exceeds k = d + l - 1.
+  std::array<VertexId, kMaxGraphletSize> registry_nodes_ = {};
+  std::array<uint8_t, kMaxGraphletSize> registry_refs_ = {};
+  std::array<std::array<bool, kMaxGraphletSize>, kMaxGraphletSize> adj_ = {};
+  int registry_size_ = 0;
+};
+
+}  // namespace grw

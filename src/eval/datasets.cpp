@@ -1,0 +1,122 @@
+#include "eval/datasets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace grw {
+
+const std::vector<DatasetSpec>& DatasetRegistry() {
+  using Model = DatasetSpec::Model;
+  // Sizes are laptop-scale stand-ins; triad_prob tracks the paper graphs'
+  // clustering ordering (Table 5: Facebook/Flickr/BrightKite clustered,
+  // Slashdot/Wikipedia/Sinaweibo not). Small tier caps degrees so ESU
+  // 5-node ground truth stays tractable.
+  static const std::vector<DatasetSpec> kRegistry = {
+      {"brightkite-sim", "BrightKite", DatasetTier::kSmall, Model::kHolmeKim,
+       2500, 4, 0.60, 40, 0xb417u, 12, 7},
+      {"epinion-sim", "Epinion", DatasetTier::kSmall, Model::kHolmeKim, 3500,
+       5, 0.35, 40, 0xe919u, 16, 7},
+      {"slashdot-sim", "Slashdot", DatasetTier::kSmall, Model::kHolmeKim,
+       3500, 6, 0.08, 36, 0x51a5u, 8, 7},
+      {"facebook-sim", "Facebook", DatasetTier::kSmall, Model::kHolmeKim,
+       2500, 8, 0.62, 44, 0xfaceu, 18, 8},
+      {"gowalla-sim", "Gowalla", DatasetTier::kMedium, Model::kBarabasiAlbert,
+       30000, 5, 0.0, 0, 0x90a1u},
+      {"wikipedia-sim", "Wikipedia", DatasetTier::kMedium,
+       Model::kBarabasiAlbert, 60000, 9, 0.0, 0, 0x313cu},
+      {"pokec-sim", "Pokec", DatasetTier::kMedium, Model::kHolmeKim, 40000,
+       14, 0.18, 0, 0x90cecu},
+      {"flickr-sim", "Flickr", DatasetTier::kMedium, Model::kHolmeKim, 40000,
+       10, 0.65, 0, 0xf11c4u},
+      {"twitter-sim", "Twitter", DatasetTier::kLarge, Model::kBarabasiAlbert,
+       120000, 12, 0.0, 0, 0x7517u},
+      {"sinaweibo-sim", "Sinaweibo", DatasetTier::kLarge, Model::kHolmeKim,
+       150000, 5, 0.03, 0, 0x51b0u},
+  };
+  return kRegistry;
+}
+
+std::optional<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    if (spec.name == name || spec.paper_name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+Graph MakeDataset(const DatasetSpec& spec, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("MakeDataset: scale must be in (0, 1]");
+  }
+  const auto n = static_cast<VertexId>(
+      std::max<double>(64.0, std::llround(spec.n * scale)));
+  Rng rng(spec.seed);
+  Graph g;
+  switch (spec.model) {
+    case DatasetSpec::Model::kHolmeKim:
+      g = HolmeKim(n, spec.param, spec.triad_prob, rng, spec.max_degree);
+      break;
+    case DatasetSpec::Model::kBarabasiAlbert:
+      g = BarabasiAlbert(n, spec.param, rng);
+      break;
+    case DatasetSpec::Model::kErdosRenyi:
+      g = ErdosRenyi(n, static_cast<uint64_t>(n) * spec.param / 2, rng);
+      break;
+  }
+  if (spec.planted_cliques > 0 && spec.planted_size >= 2) {
+    // Overlay dense communities: random node sets turned into cliques.
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(g.NumEdges() + static_cast<size_t>(spec.planted_cliques) *
+                                     spec.planted_size * spec.planted_size);
+    for (VertexId u = 0; u < g.NumNodes(); ++u) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (u < v) edges.emplace_back(u, v);
+      }
+    }
+    for (uint32_t c = 0; c < spec.planted_cliques; ++c) {
+      std::vector<VertexId> members;
+      while (members.size() < spec.planted_size) {
+        const VertexId v =
+            static_cast<VertexId>(rng.UniformInt(g.NumNodes()));
+        if (std::find(members.begin(), members.end(), v) == members.end()) {
+          members.push_back(v);
+        }
+      }
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          edges.emplace_back(members[i], members[j]);
+        }
+      }
+    }
+    g = FromEdges(g.NumNodes(), edges);
+  }
+  return LargestConnectedComponent(g);
+}
+
+Graph MakeDatasetByName(const std::string& name, double scale) {
+  const auto spec = FindDataset(name);
+  if (!spec.has_value()) {
+    throw std::invalid_argument("unknown dataset: " + name);
+  }
+  return MakeDataset(*spec, scale);
+}
+
+std::vector<std::string> DatasetNames(DatasetTier max_tier,
+                                      bool include_cheaper) {
+  std::vector<std::string> names;
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    const bool match = include_cheaper
+                           ? static_cast<int>(spec.tier) <=
+                                 static_cast<int>(max_tier)
+                           : spec.tier == max_tier;
+    if (match) names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace grw

@@ -1,0 +1,116 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace grw {
+
+namespace {
+
+ChainEstimates RunChainsImpl(
+    const Graph& g, const EstimatorConfig& config, uint64_t steps, int sims,
+    uint64_t base_seed, unsigned threads, bool counts) {
+  ChainEstimates result;
+  result.estimates.assign(sims, {});
+  // Serial-cost probe: one timed chain (thread fan-out would distort the
+  // per-chain wall clock the runtime comparisons need).
+  {
+    WallTimer timer;
+    GraphletEstimator probe(g, config);
+    probe.Reset(DeriveSeed(base_seed, 0));
+    probe.Run(steps);
+    result.seconds_per_chain = timer.Seconds();
+    result.estimates[0] = counts ? probe.CountEstimates()
+                                 : probe.Result().concentrations;
+  }
+  ParallelFor(
+      static_cast<size_t>(sims) - 1,
+      [&](size_t i) {
+        const size_t chain = i + 1;
+        GraphletEstimator estimator(g, config);
+        estimator.Reset(DeriveSeed(base_seed, chain));
+        estimator.Run(steps);
+        result.estimates[chain] = counts
+                                      ? estimator.CountEstimates()
+                                      : estimator.Result().concentrations;
+      },
+      threads);
+  return result;
+}
+
+}  // namespace
+
+ChainEstimates RunConcentrationChains(const Graph& g,
+                                      const EstimatorConfig& config,
+                                      uint64_t steps, int sims,
+                                      uint64_t base_seed, unsigned threads) {
+  return RunChainsImpl(g, config, steps, sims, base_seed, threads,
+                       /*counts=*/false);
+}
+
+ChainEstimates RunCountChains(const Graph& g, const EstimatorConfig& config,
+                              uint64_t steps, int sims, uint64_t base_seed,
+                              unsigned threads) {
+  return RunChainsImpl(g, config, steps, sims, base_seed, threads,
+                       /*counts=*/true);
+}
+
+ChainEstimates RunCustomChains(
+    int sims, const std::function<std::vector<double>(int)>& fn,
+    unsigned threads) {
+  ChainEstimates result;
+  result.estimates.assign(sims, {});
+  {
+    WallTimer timer;
+    result.estimates[0] = fn(0);
+    result.seconds_per_chain = timer.Seconds();
+  }
+  ParallelFor(
+      static_cast<size_t>(sims) - 1,
+      [&](size_t i) { result.estimates[i + 1] = fn(static_cast<int>(i + 1)); },
+      threads);
+  return result;
+}
+
+double NrmseOfType(const ChainEstimates& chains,
+                   const std::vector<double>& truth, int type) {
+  std::vector<double> values;
+  values.reserve(chains.estimates.size());
+  for (const auto& est : chains.estimates) values.push_back(est[type]);
+  return Nrmse(values, truth[type]);
+}
+
+std::vector<double> ConvergenceNrmse(const Graph& g,
+                                     const EstimatorConfig& config,
+                                     const std::vector<uint64_t>& step_grid,
+                                     int sims, uint64_t base_seed,
+                                     const std::vector<double>& truth,
+                                     int type, unsigned threads) {
+  // estimates[grid_point][chain]
+  std::vector<std::vector<double>> estimates(
+      step_grid.size(), std::vector<double>(sims, 0.0));
+  ParallelFor(
+      static_cast<size_t>(sims),
+      [&](size_t chain) {
+        GraphletEstimator estimator(g, config);
+        estimator.Reset(DeriveSeed(base_seed, chain));
+        uint64_t done = 0;
+        for (size_t p = 0; p < step_grid.size(); ++p) {
+          estimator.Run(step_grid[p] - done);
+          done = step_grid[p];
+          estimates[p][chain] = estimator.Result().concentrations[type];
+        }
+      },
+      threads);
+  std::vector<double> nrmse(step_grid.size());
+  for (size_t p = 0; p < step_grid.size(); ++p) {
+    nrmse[p] = Nrmse(estimates[p], truth[type]);
+  }
+  return nrmse;
+}
+
+}  // namespace grw

@@ -1,0 +1,64 @@
+// NRMSE experiment runner: the machinery behind every accuracy figure.
+//
+// The paper estimates NRMSE over up to 1,000 independent simulations per
+// (method, graph, sample size) point (Section 6.2.1). Chains are
+// independent, so we fan them out across hardware threads with
+// deterministic per-chain seeds — results are reproducible regardless of
+// thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Per-chain concentration estimates for one method.
+struct ChainEstimates {
+  /// estimates[chain][type] — concentration vector of each chain.
+  std::vector<std::vector<double>> estimates;
+  /// Wall-clock seconds of one representative chain (serial cost).
+  double seconds_per_chain = 0.0;
+};
+
+/// Runs `sims` independent chains of `config` for `steps` transitions each
+/// and collects the concentration estimates. Deterministic in `base_seed`.
+ChainEstimates RunConcentrationChains(const Graph& g,
+                                      const EstimatorConfig& config,
+                                      uint64_t steps, int sims,
+                                      uint64_t base_seed,
+                                      unsigned threads = 0);
+
+/// Like RunConcentrationChains but collects count estimates (Eq. 4),
+/// using the closed-form |R(d)| (requires config.d <= 2).
+ChainEstimates RunCountChains(const Graph& g, const EstimatorConfig& config,
+                              uint64_t steps, int sims, uint64_t base_seed,
+                              unsigned threads = 0);
+
+/// Generic parallel fan-out for baseline samplers: fn(chain_index) returns
+/// one estimate vector.
+ChainEstimates RunCustomChains(
+    int sims, const std::function<std::vector<double>(int)>& fn,
+    unsigned threads = 0);
+
+/// NRMSE of one graphlet type across chains:
+/// sqrt(E[(est - truth)^2]) / truth (Section 6.1). NaN if truth == 0.
+double NrmseOfType(const ChainEstimates& chains,
+                   const std::vector<double>& truth, int type);
+
+/// Convergence sweep: NRMSE of `type` at each step count in `step_grid`,
+/// reusing the same chains (paper Figure 6 protocol: estimates are read
+/// out as the chains advance, not restarted).
+std::vector<double> ConvergenceNrmse(const Graph& g,
+                                     const EstimatorConfig& config,
+                                     const std::vector<uint64_t>& step_grid,
+                                     int sims, uint64_t base_seed,
+                                     const std::vector<double>& truth,
+                                     int type, unsigned threads = 0);
+
+}  // namespace grw

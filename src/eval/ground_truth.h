@@ -1,0 +1,32 @@
+// Disk-cached exact graphlet counts for the bench harnesses.
+//
+// Five-node ground truth is an enumeration (minutes on the small tier);
+// every accuracy bench needs the same numbers, so they are computed once
+// and cached as small text files under ./.gt_cache/. The cache key
+// includes the dataset identity and scale; synthetic datasets are
+// deterministic per spec, so a cache hit is always valid. Delete the
+// directory to force recomputation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Exact induced k-node counts of g, cached under `cache_key`
+/// (e.g. "epinion-sim@1"). Computes and writes on miss.
+std::vector<int64_t> CachedExactCounts(const Graph& g, int k,
+                                       const std::string& cache_key);
+
+/// Concentrations derived from CachedExactCounts.
+std::vector<double> CachedExactConcentrations(const Graph& g, int k,
+                                              const std::string& cache_key);
+
+/// Cache key for a registry dataset at a scale.
+std::string DatasetCacheKey(const std::string& name, double scale);
+
+}  // namespace grw

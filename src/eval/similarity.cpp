@@ -1,0 +1,23 @@
+#include "eval/similarity.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace grw {
+
+double GraphletKernelSimilarity(const std::vector<double>& c1,
+                                const std::vector<double>& c2) {
+  assert(c1.size() == c2.size());
+  double dot = 0.0;
+  double n1 = 0.0;
+  double n2 = 0.0;
+  for (size_t i = 0; i < c1.size(); ++i) {
+    dot += c1[i] * c2[i];
+    n1 += c1[i] * c1[i];
+    n2 += c2[i] * c2[i];
+  }
+  if (n1 <= 0.0 || n2 <= 0.0) return 0.0;
+  return dot / (std::sqrt(n1) * std::sqrt(n2));
+}
+
+}  // namespace grw

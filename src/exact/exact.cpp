@@ -1,0 +1,46 @@
+#include "exact/exact.h"
+
+#include <cassert>
+
+#include "exact/esu.h"
+#include "exact/four_count.h"
+#include "exact/triangle.h"
+#include "graphlet/catalog.h"
+
+namespace grw {
+
+std::vector<int64_t> ExactGraphletCounts(const Graph& g, int k) {
+  assert(k >= 3 && k <= kMaxGraphletSize);
+  if (k == 3) {
+    const GraphletCatalog& catalog = GraphletCatalog::ForSize(3);
+    const TriangleCounts tc = CountTriangles(g, /*need_per_edge=*/false,
+                                             /*need_per_node=*/false);
+    std::vector<int64_t> counts(2, 0);
+    // Induced wedges = all wedges minus the three closed ones per triangle.
+    counts[catalog.IdByName("wedge")] =
+        static_cast<int64_t>(g.WedgeCount() - 3 * tc.total);
+    counts[catalog.IdByName("triangle")] = static_cast<int64_t>(tc.total);
+    return counts;
+  }
+  if (k == 4) return CountFourNodeGraphlets(g);
+  return CountGraphletsEsu(g, k);
+}
+
+std::vector<double> ConcentrationsFromCounts(
+    const std::vector<int64_t>& counts) {
+  double total = 0.0;
+  for (int64_t c : counts) total += static_cast<double>(c);
+  std::vector<double> result(counts.size(), 0.0);
+  if (total > 0.0) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      result[i] = static_cast<double>(counts[i]) / total;
+    }
+  }
+  return result;
+}
+
+std::vector<double> ExactConcentrations(const Graph& g, int k) {
+  return ConcentrationsFromCounts(ExactGraphletCounts(g, k));
+}
+
+}  // namespace grw

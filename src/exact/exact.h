@@ -1,0 +1,29 @@
+// Ground-truth facade: exact induced graphlet counts and concentrations.
+//
+// Routes each size to the cheapest exact method:
+//   k = 3 — closed forms from wedge and triangle counts,
+//   k = 4 — formula-based counter (exact/four_count.h),
+//   k = 5 and 6 — ESU enumeration (exact/esu.h), cost grows with the
+//                 number of k-subgraphs; reserve for small/medium graphs,
+//                 mirroring the paper's Table 5 footnote.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Exact induced k-node graphlet counts, indexed by catalog id.
+std::vector<int64_t> ExactGraphletCounts(const Graph& g, int k);
+
+/// Exact graphlet concentrations c^k_i = C^k_i / sum_j C^k_j, indexed by
+/// catalog id. All-zero graphs yield all-zero concentrations.
+std::vector<double> ExactConcentrations(const Graph& g, int k);
+
+/// Concentrations computed from a count vector (shared normalization).
+std::vector<double> ConcentrationsFromCounts(
+    const std::vector<int64_t>& counts);
+
+}  // namespace grw

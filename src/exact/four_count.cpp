@@ -1,0 +1,172 @@
+#include "exact/four_count.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "exact/triangle.h"
+#include "graphlet/catalog.h"
+#include "graphlet/noninduced.h"
+
+namespace grw {
+
+namespace {
+
+// C(x, 2) and C(x, 3) in 64-bit arithmetic.
+uint64_t Choose2(uint64_t x) { return x < 2 ? 0 : x * (x - 1) / 2; }
+uint64_t Choose3(uint64_t x) {
+  return x < 3 ? 0 : x * (x - 1) / 2 * (x - 2) / 3;
+}
+
+// Oriented (degree-ordered) adjacency shared by the C4 and K4 passes.
+struct OrientedAdjacency {
+  std::vector<uint64_t> offset;
+  std::vector<VertexId> out;  // higher-rank neighbors, sorted by id
+
+  explicit OrientedAdjacency(const Graph& g) {
+    const VertexId n = g.NumNodes();
+    std::vector<uint32_t> rank(n);
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+      const uint32_t da = g.Degree(a);
+      const uint32_t db = g.Degree(b);
+      return da != db ? da < db : a < b;
+    });
+    for (VertexId i = 0; i < n; ++i) rank[order[i]] = i;
+
+    offset.assign(static_cast<size_t>(n) + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      uint64_t cnt = 0;
+      for (VertexId w : g.Neighbors(v)) {
+        if (rank[w] > rank[v]) ++cnt;
+      }
+      offset[v + 1] = offset[v] + cnt;
+    }
+    out.resize(offset[n]);
+    for (VertexId v = 0; v < n; ++v) {
+      uint64_t at = offset[v];
+      for (VertexId w : g.Neighbors(v)) {
+        if (rank[w] > rank[v]) out[at++] = w;
+      }
+    }
+  }
+
+  std::span<const VertexId> Out(VertexId v) const {
+    return {out.data() + offset[v], out.data() + offset[v + 1]};
+  }
+};
+
+// Number of non-induced 4-cycles: half the sum over node pairs {u, w}
+// of C(codeg(u, w), 2) — each cycle is counted once per diagonal.
+uint64_t CountCycles4(const Graph& g) {
+  const VertexId n = g.NumNodes();
+  uint64_t doubled = 0;
+  std::vector<uint32_t> codeg(n, 0);
+  std::vector<VertexId> touched;
+  for (VertexId u = 0; u < n; ++u) {
+    touched.clear();
+    for (VertexId v : g.Neighbors(u)) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (w <= u) continue;  // count each unordered pair {u, w} once
+        if (codeg[w]++ == 0) touched.push_back(w);
+      }
+    }
+    for (VertexId w : touched) {
+      doubled += Choose2(codeg[w]);
+      codeg[w] = 0;
+    }
+  }
+  return doubled / 2;
+}
+
+// Number of K4s: for each triangle with rank order u < v < w, count the
+// common higher-rank extensions x (sorted-list intersections).
+uint64_t CountCliques4(const OrientedAdjacency& oriented, VertexId n) {
+  uint64_t cliques = 0;
+  std::vector<VertexId> tuv;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto un = oriented.Out(u);
+    for (VertexId v : un) {
+      const auto vn = oriented.Out(v);
+      tuv.clear();
+      std::set_intersection(un.begin(), un.end(), vn.begin(), vn.end(),
+                            std::back_inserter(tuv));
+      for (VertexId w : tuv) {
+        const auto wn = oriented.Out(w);
+        // |tuv ∩ out(w)|: every such x has rank above u, v and w.
+        size_t a = 0;
+        size_t b = 0;
+        while (a < tuv.size() && b < wn.size()) {
+          if (tuv[a] < wn[b]) {
+            ++a;
+          } else if (tuv[a] > wn[b]) {
+            ++b;
+          } else {
+            ++cliques;
+            ++a;
+            ++b;
+          }
+        }
+      }
+    }
+  }
+  return cliques;
+}
+
+}  // namespace
+
+std::vector<int64_t> CountFourNodeNonInduced(const Graph& g) {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(4);
+  std::vector<int64_t> counts(catalog.NumTypes(), 0);
+
+  const TriangleCounts tc = CountTriangles(g);
+  const uint64_t triangles = tc.total;
+
+  // Paths: sum over edges of (d_u - 1)(d_v - 1) counts 3-edge walks
+  // u'-u-v-v' with distinct middle edge; u' == v' closes a triangle and
+  // happens once per triangle edge, i.e. 3T times.
+  uint64_t path_walks = 0;
+  uint64_t paws = 0;
+  uint64_t diamonds = 0;
+  for (VertexId u = 0; u < g.NumNodes(); ++u) {
+    const uint64_t du = g.Degree(u);
+    if (du >= 2) paws += tc.per_node[u] * (du - 2);
+    for (VertexId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      path_walks += (du - 1) * static_cast<uint64_t>(g.Degree(v) - 1);
+    }
+  }
+  for (uint32_t t : tc.per_edge) diamonds += Choose2(t);
+
+  uint64_t stars = 0;
+  for (VertexId v = 0; v < g.NumNodes(); ++v) stars += Choose3(g.Degree(v));
+
+  const OrientedAdjacency oriented(g);
+
+  counts[catalog.IdByName("4-path")] =
+      static_cast<int64_t>(path_walks - 3 * triangles);
+  counts[catalog.IdByName("3-star")] = static_cast<int64_t>(stars);
+  counts[catalog.IdByName("4-cycle")] =
+      static_cast<int64_t>(CountCycles4(g));
+  counts[catalog.IdByName("tailed-triangle")] = static_cast<int64_t>(paws);
+  counts[catalog.IdByName("chordal-cycle")] =
+      static_cast<int64_t>(diamonds);
+  counts[catalog.IdByName("4-clique")] =
+      static_cast<int64_t>(CountCliques4(oriented, g.NumNodes()));
+  return counts;
+}
+
+std::vector<int64_t> CountFourNodeGraphlets(const Graph& g) {
+  const std::vector<int64_t> non_induced = CountFourNodeNonInduced(g);
+  std::vector<double> as_double(non_induced.begin(), non_induced.end());
+  const std::vector<double> induced = InducedFromNonInduced(4, as_double);
+  std::vector<int64_t> result(induced.size());
+  for (size_t i = 0; i < induced.size(); ++i) {
+    result[i] = static_cast<int64_t>(std::llround(induced[i]));
+    assert(result[i] >= 0);
+  }
+  return result;
+}
+
+}  // namespace grw

@@ -1,0 +1,34 @@
+// Exact induced 4-node graphlet counts via closed-form combinatorics —
+// no 4-subgraph enumeration.
+//
+// Strategy (the PGD / Ahmed-et-al. style the paper cites as its
+// ground-truth source [3, 13]):
+//   1. compute exact *non-induced* spanning counts of the six 4-node
+//      patterns from degrees, per-edge/per-node triangle counts, codegree
+//      pair statistics and a K4 enumeration;
+//   2. convert to induced counts with the programmatic unitriangular
+//      embedding matrix (graphlet/noninduced.h).
+//
+// Runs in roughly O(sum_v d_v^2) time, which covers every dataset in our
+// registry including the large low-clustering ones, exactly as the paper
+// computes 3-/4-node ground truth for all ten of its graphs.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Exact induced 4-node graphlet counts, indexed by catalog id
+/// (GraphletCatalog::ForSize(4)).
+std::vector<int64_t> CountFourNodeGraphlets(const Graph& g);
+
+/// Exact non-induced spanning counts of the six 4-node patterns, indexed
+/// by catalog id. Exposed for tests (cross-checked against the embedding
+/// matrix applied to ESU induced counts).
+std::vector<int64_t> CountFourNodeNonInduced(const Graph& g);
+
+}  // namespace grw

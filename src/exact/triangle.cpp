@@ -1,0 +1,135 @@
+#include "exact/triangle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grw {
+
+EdgeIndex::EdgeIndex(const Graph& g) : g_(&g) {
+  const VertexId n = g.NumNodes();
+  first_id_.resize(static_cast<size_t>(n) + 1);
+  uint64_t next = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    first_id_[u] = next;
+    const auto nbrs = g.Neighbors(u);
+    // Edges owned by u: neighbors with id > u (upper-triangle convention).
+    next += nbrs.end() - std::upper_bound(nbrs.begin(), nbrs.end(), u);
+  }
+  first_id_[n] = next;
+  num_edges_ = next;
+  assert(num_edges_ == g.NumEdges());
+}
+
+uint64_t EdgeIndex::Id(VertexId u, VertexId v) const {
+  if (u > v) std::swap(u, v);
+  const auto nbrs = g_->Neighbors(u);
+  const auto higher = std::upper_bound(nbrs.begin(), nbrs.end(), u);
+  const auto pos = std::lower_bound(higher, nbrs.end(), v);
+  assert(pos != nbrs.end() && *pos == v && "edge does not exist");
+  return first_id_[u] + static_cast<uint64_t>(pos - higher);
+}
+
+std::pair<VertexId, VertexId> EdgeIndex::Endpoints(uint64_t id) const {
+  assert(id < num_edges_);
+  const auto it =
+      std::upper_bound(first_id_.begin(), first_id_.end(), id) - 1;
+  const VertexId u = static_cast<VertexId>(it - first_id_.begin());
+  const auto nbrs = g_->Neighbors(u);
+  const auto higher = std::upper_bound(nbrs.begin(), nbrs.end(), u);
+  return {u, *(higher + (id - *it))};
+}
+
+TriangleCounts CountTriangles(const Graph& g, bool need_per_edge,
+                              bool need_per_node) {
+  const VertexId n = g.NumNodes();
+  TriangleCounts result;
+  if (need_per_node) result.per_node.assign(n, 0);
+  EdgeIndex index(g);
+  if (need_per_edge) result.per_edge.assign(index.NumEdges(), 0);
+
+  // Rank nodes by (degree, id); orient edges low-rank -> high-rank. Every
+  // triangle has a unique lowest-rank vertex u with oriented wedge
+  // u->v, u->w; it is a triangle iff v-w is an edge, checked against
+  // oriented adjacency of v (or w).
+  std::vector<uint32_t> rank(n);
+  {
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+      const uint32_t da = g.Degree(a);
+      const uint32_t db = g.Degree(b);
+      return da != db ? da < db : a < b;
+    });
+    for (VertexId i = 0; i < n; ++i) rank[order[i]] = i;
+  }
+
+  // Oriented adjacency: out[v] = neighbors with higher rank, sorted by id.
+  std::vector<uint64_t> out_offset(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t cnt = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (rank[w] > rank[v]) ++cnt;
+    }
+    out_offset[v + 1] = out_offset[v] + cnt;
+  }
+  std::vector<VertexId> out(out_offset[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t at = out_offset[v];
+    for (VertexId w : g.Neighbors(v)) {  // sorted by id already
+      if (rank[w] > rank[v]) out[at++] = w;
+    }
+  }
+  auto out_nbrs = [&](VertexId v) {
+    return std::span<const VertexId>(out.data() + out_offset[v],
+                                     out.data() + out_offset[v + 1]);
+  };
+
+  for (VertexId u = 0; u < n; ++u) {
+    const auto un = out_nbrs(u);
+    for (size_t i = 0; i < un.size(); ++i) {
+      const VertexId v = un[i];
+      const auto vn = out_nbrs(v);
+      // Intersect un[i+1..] with vn, both sorted by id: w adjacent to both
+      // u and v with rank(w) > rank(v) > rank(u) — but un[i+1..] is sorted
+      // by id, not rank, so intersect the full ranges instead.
+      // w must have rank above both u and v; out-lists guarantee that.
+      size_t a = 0;
+      size_t b = 0;
+      while (a < un.size() && b < vn.size()) {
+        if (un[a] < vn[b]) {
+          ++a;
+        } else if (un[a] > vn[b]) {
+          ++b;
+        } else {
+          const VertexId w = un[a];
+          if (w != v) {
+            ++result.total;
+            if (need_per_node) {
+              result.per_node[u]++;
+              result.per_node[v]++;
+              result.per_node[w]++;
+            }
+            if (need_per_edge) {
+              result.per_edge[index.Id(u, v)]++;
+              result.per_edge[index.Id(u, w)]++;
+              result.per_edge[index.Id(v, w)]++;
+            }
+          }
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  const uint64_t wedges = g.WedgeCount();
+  if (wedges == 0) return 0.0;
+  const TriangleCounts tc = CountTriangles(g, /*need_per_edge=*/false,
+                                           /*need_per_node=*/false);
+  return 3.0 * static_cast<double>(tc.total) / static_cast<double>(wedges);
+}
+
+}  // namespace grw

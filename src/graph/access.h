@@ -1,0 +1,68 @@
+// Restricted-access facade modeling the crawling setting of the paper.
+//
+// The paper's motivating scenario (Section 1): the graph is only reachable
+// through OSN APIs that return a user's friend list. RestrictedAccess wraps
+// a Graph behind exactly that interface and counts API calls, so examples
+// and benches can report crawl cost (the paper's adapted wedge sampling
+// costs 3 API calls per step vs 1 for the framework, Section 6.3.3).
+//
+// In a real deployment the backend would issue HTTP requests; here the
+// backend is the in-memory Graph, which preserves the access pattern —
+// the only thing the estimators are allowed to depend on.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grw {
+
+/// Neighbor-list-only view of a graph with API-call accounting.
+class RestrictedAccess {
+ public:
+  explicit RestrictedAccess(const Graph& g) : g_(&g) {}
+
+  /// Degree of v (one API call — profile fetch).
+  uint32_t Degree(VertexId v) const {
+    ++calls_;
+    return g_->Degree(v);
+  }
+
+  /// Full friend list of v (one API call).
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    ++calls_;
+    return g_->Neighbors(v);
+  }
+
+  /// Uniform random neighbor of v (one API call; OSN APIs with paging
+  /// support this with a random page index). Requires Degree(v) > 0.
+  VertexId RandomNeighbor(VertexId v, Rng& rng) const {
+    ++calls_;
+    return g_->Neighbor(v, static_cast<uint32_t>(
+                               rng.UniformInt(g_->Degree(v))));
+  }
+
+  /// Adjacency test between two already-visited nodes. Costs one call:
+  /// implemented client-side by searching the cached friend list, but we
+  /// account for the fetch of that list conservatively.
+  bool HasEdge(VertexId u, VertexId v) const {
+    ++calls_;
+    return g_->HasEdge(u, v);
+  }
+
+  /// Number of nodes. NOT available through real APIs; exposed for
+  /// seeding the walk in simulations only.
+  VertexId NumNodesForSeeding() const { return g_->NumNodes(); }
+
+  uint64_t ApiCalls() const { return calls_; }
+  void ResetApiCalls() { calls_ = 0; }
+
+ private:
+  const Graph* g_;
+  mutable uint64_t calls_ = 0;
+};
+
+}  // namespace grw

@@ -1,0 +1,130 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace grw {
+
+namespace {
+
+// Shared CSR assembly: takes directed half-edges (both directions present),
+// sorts, dedupes, and emits the Graph.
+Graph AssembleCsr(VertexId num_nodes,
+                  std::vector<std::pair<VertexId, VertexId>>& half_edges) {
+  std::sort(half_edges.begin(), half_edges.end());
+  half_edges.erase(std::unique(half_edges.begin(), half_edges.end()),
+                   half_edges.end());
+
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : half_edges) offsets[u + 1]++;
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> neighbors(half_edges.size());
+  // half_edges are sorted by (u, v), so neighbors are emitted in sorted
+  // order per node by a single linear pass.
+  for (size_t i = 0; i < half_edges.size(); ++i) {
+    neighbors[i] = half_edges[i].second;
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace
+
+Graph GraphBuilder::Build() {
+  // Relabel sparse ids densely. Sort the distinct ids so the relabeling is
+  // deterministic regardless of edge order.
+  std::vector<uint64_t> ids;
+  ids.reserve(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    if (u != v) {  // self-loops never contribute a node on their own
+      ids.push_back(u);
+      ids.push_back(v);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::unordered_map<uint64_t, VertexId> relabel;
+  relabel.reserve(ids.size() * 2);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    relabel.emplace(ids[i], static_cast<VertexId>(i));
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> half;
+  half.reserve(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    const VertexId a = relabel.at(u);
+    const VertexId b = relabel.at(v);
+    half.emplace_back(a, b);
+    half.emplace_back(b, a);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return AssembleCsr(static_cast<VertexId>(ids.size()), half);
+}
+
+Graph FromEdges(VertexId num_nodes,
+                const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<std::pair<VertexId, VertexId>> half;
+  half.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    half.emplace_back(u, v);
+    half.emplace_back(v, u);
+  }
+  return AssembleCsr(num_nodes, half);
+}
+
+Graph LargestConnectedComponent(const Graph& g) {
+  const VertexId n = g.NumNodes();
+  if (n == 0) return Graph();
+
+  constexpr VertexId kUnassigned = static_cast<VertexId>(-1);
+  std::vector<VertexId> component(n, kUnassigned);
+  std::vector<uint64_t> component_size;
+  std::vector<VertexId> stack;
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (component[s] != kUnassigned) continue;
+    const VertexId c = static_cast<VertexId>(component_size.size());
+    component_size.push_back(0);
+    stack.push_back(s);
+    component[s] = c;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      component_size[c]++;
+      for (VertexId w : g.Neighbors(v)) {
+        if (component[w] == kUnassigned) {
+          component[w] = c;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  const VertexId best =
+      static_cast<VertexId>(std::max_element(component_size.begin(),
+                                             component_size.end()) -
+                            component_size.begin());
+
+  // Dense relabeling of the winning component, preserving id order.
+  std::vector<VertexId> new_id(n, kUnassigned);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (component[v] == best) new_id[v] = next++;
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> half;
+  half.reserve(g.NumEdges());
+  for (VertexId v = 0; v < n; ++v) {
+    if (component[v] != best) continue;
+    for (VertexId w : g.Neighbors(v)) {
+      half.emplace_back(new_id[v], new_id[w]);
+    }
+  }
+  return AssembleCsr(next, half);
+}
+
+}  // namespace grw

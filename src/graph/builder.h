@@ -1,0 +1,52 @@
+// Constructing simple graphs from raw edge lists.
+//
+// Real-world edge lists (SNAP format and our generators) contain duplicate
+// edges, self-loops, both edge directions, and sparse node id spaces. The
+// paper's preprocessing (Section 6.1) is: make undirected, simplify, keep
+// the largest connected component. GraphBuilder implements exactly that
+// pipeline and produces the immutable CSR Graph.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Accumulates raw (possibly dirty) edges and builds a clean Graph.
+class GraphBuilder {
+ public:
+  /// Pre-reserves space for `expected_edges` raw edges.
+  explicit GraphBuilder(size_t expected_edges = 0) {
+    edges_.reserve(expected_edges);
+  }
+
+  /// Adds one undirected edge. Self-loops and duplicates are tolerated
+  /// here and removed in Build(). Node ids may be sparse.
+  void AddEdge(uint64_t u, uint64_t v) { edges_.emplace_back(u, v); }
+
+  size_t NumRawEdges() const { return edges_.size(); }
+
+  /// Builds a simple graph: relabels node ids densely (in order of first
+  /// appearance of the sorted id space), drops self-loops and duplicate
+  /// edges, sorts adjacency lists. Consumes the accumulated edges.
+  Graph Build();
+
+ private:
+  std::vector<std::pair<uint64_t, uint64_t>> edges_;
+};
+
+/// Returns the subgraph induced by the largest connected component of g,
+/// with densely relabeled node ids. If g is empty, returns an empty graph.
+Graph LargestConnectedComponent(const Graph& g);
+
+/// Builds a Graph directly from clean 0-based edges (no relabeling), for
+/// tests and generators that already produce dense ids. Still removes
+/// duplicates and self-loops.
+Graph FromEdges(VertexId num_nodes,
+                const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace grw

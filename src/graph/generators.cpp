@@ -1,0 +1,203 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace grw {
+
+namespace {
+
+// Packs an undirected pair into a 64-bit key for dedup sets.
+uint64_t PairKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(VertexId n, uint64_t m, Rng& rng) {
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) edges.emplace_back(u, v);
+  }
+  return FromEdges(n, edges);
+}
+
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_node, Rng& rng) {
+  return HolmeKim(n, edges_per_node, 0.0, rng);
+}
+
+Graph HolmeKim(VertexId n, uint32_t edges_per_node, double triad_prob,
+               Rng& rng, uint32_t max_degree) {
+  const uint32_t m = std::max<uint32_t>(1, edges_per_node);
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element is preferential attachment (degree-proportional).
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<size_t>(n) * m * 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(n) * m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(n) * m * 2);
+  std::vector<uint32_t> degree(n, 0);
+  // Adjacency lists maintained during generation so the triad-formation
+  // step can pick a uniform neighbor of the previous target in O(1).
+  std::vector<std::vector<VertexId>> adj(n);
+  const auto saturated = [&degree, max_degree](VertexId v) {
+    return max_degree != 0 && degree[v] >= max_degree;
+  };
+  const auto connect = [&](VertexId a, VertexId b) {
+    seen.insert(PairKey(a, b));
+    edges.emplace_back(a, b);
+    targets.push_back(a);
+    targets.push_back(b);
+    degree[a]++;
+    degree[b]++;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+
+  // Seed: a small clique of m+1 nodes so early preferential attachment has
+  // well-defined degrees.
+  const VertexId seed = std::min<VertexId>(n, m + 1);
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) connect(u, v);
+  }
+
+  for (VertexId v = seed; v < n; ++v) {
+    VertexId last_target = n;  // sentinel: no target yet
+    for (uint32_t j = 0; j < m; ++j) {
+      VertexId w = n;
+      if (last_target < n && triad_prob > 0.0 && rng.Bernoulli(triad_prob) &&
+          !adj[last_target].empty()) {
+        // Triad formation (Holme-Kim): a uniform neighbor of the previous
+        // target, closing the triangle v - last_target - w.
+        w = adj[last_target][rng.UniformInt(adj[last_target].size())];
+      }
+      // Preferential attachment, also the fallback when the triad pick is
+      // a duplicate/self/saturated node.
+      int guard = 0;
+      while ((w >= n || w == v || seen.count(PairKey(v, w)) > 0 ||
+              saturated(w)) &&
+             guard++ < 64) {
+        w = targets[rng.UniformInt(targets.size())];
+      }
+      if (w >= n || w == v || seen.count(PairKey(v, w)) > 0 || saturated(w)) {
+        continue;
+      }
+      connect(v, w);
+      last_target = w;
+    }
+  }
+  return FromEdges(n, edges);
+}
+
+Graph WattsStrogatz(VertexId n, uint32_t k, double beta, Rng& rng) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::unordered_set<uint64_t> seen;
+  const uint32_t half = std::max<uint32_t>(1, k);
+  edges.reserve(static_cast<size_t>(n) * half);
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= half; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.Bernoulli(beta)) {
+        // Rewire the far endpoint uniformly, avoiding self/duplicates.
+        int guard = 0;
+        VertexId w = static_cast<VertexId>(rng.UniformInt(n));
+        while ((w == u || seen.count(PairKey(u, w)) > 0) && guard++ < 64) {
+          w = static_cast<VertexId>(rng.UniformInt(n));
+        }
+        if (guard < 64) v = w;
+      }
+      if (u != v && seen.insert(PairKey(u, v)).second) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  return FromEdges(n, edges);
+}
+
+Graph Complete(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return FromEdges(n, edges);
+}
+
+Graph Path(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return FromEdges(n, edges);
+}
+
+Graph Cycle(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  if (n >= 3) edges.emplace_back(n - 1, 0);
+  return FromEdges(n, edges);
+}
+
+Graph Star(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return FromEdges(n, edges);
+}
+
+Graph CompleteBipartite(VertexId a, VertexId b) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(a) * b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) {
+      edges.emplace_back(u, static_cast<VertexId>(a + v));
+    }
+  }
+  return FromEdges(a + b, edges);
+}
+
+Graph Lollipop(VertexId clique, VertexId tail) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < clique; ++u) {
+    for (VertexId v = u + 1; v < clique; ++v) edges.emplace_back(u, v);
+  }
+  for (VertexId t = 0; t < tail; ++t) {
+    const VertexId from = t == 0 ? clique - 1 : clique + t - 1;
+    edges.emplace_back(from, clique + t);
+  }
+  return FromEdges(clique + tail, edges);
+}
+
+Graph KarateClub() {
+  // Zachary (1977), 0-based node ids; 78 edges.
+  static const std::pair<VertexId, VertexId> kEdges[] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  std::vector<std::pair<VertexId, VertexId>> edges(std::begin(kEdges),
+                                                   std::end(kEdges));
+  return FromEdges(34, edges);
+}
+
+}  // namespace grw

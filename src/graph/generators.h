@@ -1,0 +1,66 @@
+// Synthetic graph generators.
+//
+// These stand in for the paper's SNAP datasets (see DESIGN.md §3): random
+// models with heavy-tailed degrees and tunable clustering reproduce the
+// structural properties the estimators are sensitive to (graphlet rarity,
+// degree skew / mixing time). The deterministic families are fixtures with
+// hand-computable graphlet counts used throughout the test suite.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grw {
+
+/// Erdős–Rényi G(n, m): n nodes, m distinct uniform random edges.
+/// Low clustering, light-tailed degrees.
+Graph ErdosRenyi(VertexId n, uint64_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes chosen proportional to degree.
+/// Heavy-tailed degrees, low clustering.
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_node, Rng& rng);
+
+/// Holme–Kim powerlaw-cluster model: Barabási–Albert plus, after each
+/// preferential attachment, a "triad formation" step with probability
+/// `triad_prob` that links to a random neighbor of the previous target,
+/// closing a triangle. Heavy-tailed degrees with tunable clustering —
+/// our stand-in for clustered social graphs (Facebook, Flickr, BrightKite).
+///
+/// `max_degree` (0 = unlimited) rejects attachments to saturated nodes,
+/// truncating the degree tail — the analog of OSN friend-count caps. The
+/// small-tier datasets use it so that exact 5-node ground truth (ESU
+/// enumeration) stays tractable; see DESIGN.md Section 3.
+Graph HolmeKim(VertexId n, uint32_t edges_per_node, double triad_prob,
+               Rng& rng, uint32_t max_degree = 0);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side rewired with probability `beta`. High clustering, low degree skew.
+Graph WattsStrogatz(VertexId n, uint32_t k, double beta, Rng& rng);
+
+/// Complete graph K_n.
+Graph Complete(VertexId n);
+
+/// Path graph P_n (n nodes, n-1 edges).
+Graph Path(VertexId n);
+
+/// Cycle graph C_n.
+Graph Cycle(VertexId n);
+
+/// Star S_{n-1}: one hub adjacent to n-1 leaves.
+Graph Star(VertexId n);
+
+/// Complete bipartite graph K_{a,b}.
+Graph CompleteBipartite(VertexId a, VertexId b);
+
+/// Lollipop: K_clique with a path of `tail` extra nodes attached.
+Graph Lollipop(VertexId clique, VertexId tail);
+
+/// Zachary's karate club (34 nodes, 78 edges) — the classic small real
+/// social network; used as a test fixture with known graphlet counts.
+Graph KarateClub();
+
+}  // namespace grw

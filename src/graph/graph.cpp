@@ -1,0 +1,69 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace grw {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumNodes() || v >= NumNodes() || u == v) return false;
+  // Search the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < NumNodes(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+uint64_t Graph::DegreeSquareSum() const {
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < NumNodes(); ++v) {
+    const uint64_t d = Degree(v);
+    sum += d * d;
+  }
+  return sum;
+}
+
+uint64_t Graph::WedgeCount() const {
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < NumNodes(); ++v) {
+    const uint64_t d = Degree(v);
+    sum += d * (d - 1) / 2;
+  }
+  return sum;
+}
+
+bool Graph::IsConnected() const {
+  const VertexId n = NumNodes();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack = {0};
+  seen[0] = true;
+  VertexId count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : Neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == n;
+}
+
+std::string Graph::Summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n=%u m=%llu dmax=%u", NumNodes(),
+                static_cast<unsigned long long>(NumEdges()), MaxDegree());
+  return buf;
+}
+
+}  // namespace grw

@@ -1,0 +1,88 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every other module walks on. Design points:
+//  * Adjacency lists are sorted, so HasEdge is a binary search — the
+//    estimator's incremental sample-window maintenance (paper Section 5)
+//    performs k-1 such searches per random-walk step.
+//  * The structure is immutable after construction; all samplers share one
+//    const Graph& across threads without synchronization.
+//  * Node ids are dense uint32_t in [0, NumNodes()).
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace grw {
+
+using VertexId = uint32_t;
+
+/// Undirected simple graph, CSR storage, sorted neighbor lists.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Constructs from CSR arrays. offsets.size() == num_nodes + 1,
+  /// neighbors.size() == offsets.back() == 2 * NumEdges().
+  /// Neighbor ranges must be sorted and free of duplicates/self-loops;
+  /// use GraphBuilder to produce such arrays from raw edges.
+  Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    assert(!offsets_.empty());
+    assert(offsets_.back() == neighbors_.size());
+  }
+
+  VertexId NumNodes() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges |E|.
+  uint64_t NumEdges() const { return neighbors_.size() / 2; }
+
+  uint32_t Degree(VertexId v) const {
+    assert(v < NumNodes());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbors of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    assert(v < NumNodes());
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// The i-th neighbor of v (0-based, in sorted order).
+  VertexId Neighbor(VertexId v, uint32_t i) const {
+    assert(i < Degree(v));
+    return neighbors_[offsets_[v] + i];
+  }
+
+  /// True iff the undirected edge (u, v) exists. O(log Degree(min-side)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Maximum degree over all nodes. O(n).
+  uint32_t MaxDegree() const;
+
+  /// Sum over nodes of Degree(v)^2; used by |R(2)| and wedge counting.
+  uint64_t DegreeSquareSum() const;
+
+  /// Number of wedges (paths of length two) = sum_v C(d_v, 2).
+  /// Also equals |R(2)|, the edge count of the 2-node subgraph
+  /// relationship graph G(2) (paper Section 3.3).
+  uint64_t WedgeCount() const;
+
+  /// True iff the graph is connected (empty graph counts as connected).
+  bool IsConnected() const;
+
+  /// One-line summary "n=<nodes> m=<edges> dmax=<max degree>".
+  std::string Summary() const;
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace grw

@@ -1,0 +1,78 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace grw {
+
+Graph LoadEdgeList(const std::string& path, bool largest_cc) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("LoadEdgeList: cannot open " + path);
+  }
+
+  GraphBuilder builder;
+  // Buffered manual parse: ~5x faster than iostream on multi-million-edge
+  // files, which matters when re-running benches on real SNAP data.
+  constexpr size_t kBufSize = 1 << 20;
+  std::vector<char> buf(kBufSize);
+  std::string carry;
+  auto parse_line = [&builder](const char* s, const char* end) {
+    while (s < end && std::isspace(static_cast<unsigned char>(*s))) ++s;
+    if (s >= end || *s == '#' || *s == '%') return;
+    char* next = nullptr;
+    const uint64_t u = std::strtoull(s, &next, 10);
+    if (next == s) return;
+    s = next;
+    const uint64_t v = std::strtoull(s, &next, 10);
+    if (next == s) return;
+    builder.AddEdge(u, v);
+  };
+
+  while (true) {
+    const size_t got = std::fread(buf.data(), 1, kBufSize, f);
+    if (got == 0) break;
+    size_t start = 0;
+    for (size_t i = 0; i < got; ++i) {
+      if (buf[i] != '\n') continue;
+      if (!carry.empty()) {
+        carry.append(buf.data() + start, i - start);
+        parse_line(carry.data(), carry.data() + carry.size());
+        carry.clear();
+      } else {
+        parse_line(buf.data() + start, buf.data() + i);
+      }
+      start = i + 1;
+    }
+    carry.append(buf.data() + start, got - start);
+  }
+  std::fclose(f);
+  if (!carry.empty()) parse_line(carry.data(), carry.data() + carry.size());
+
+  if (builder.NumRawEdges() == 0) {
+    throw std::runtime_error("LoadEdgeList: no edges in " + path);
+  }
+  Graph g = builder.Build();
+  return largest_cc ? LargestConnectedComponent(g) : g;
+}
+
+void SaveEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("SaveEdgeList: cannot open " + path);
+  }
+  for (VertexId u = 0; u < g.NumNodes(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) std::fprintf(f, "%u %u\n", u, v);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    throw std::runtime_error("SaveEdgeList: write failure on " + path);
+  }
+}
+
+}  // namespace grw

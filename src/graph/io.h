@@ -1,0 +1,26 @@
+// Edge-list I/O in SNAP text format.
+//
+// The paper evaluates on SNAP / KONECT edge lists; this loader accepts the
+// same files so the benches can be re-run on the original datasets when
+// available (`--graph <path>`). Lines starting with '#' or '%' are comments;
+// each data line is "u v" (whitespace separated, any integer ids).
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Loads an edge list, simplifies it, and (optionally) restricts to the
+/// largest connected component — the paper's preprocessing.
+/// Throws std::runtime_error if the file cannot be read or contains no
+/// valid edges.
+Graph LoadEdgeList(const std::string& path, bool largest_cc = true);
+
+/// Writes g as "u v" lines (one per undirected edge, u < v).
+/// Throws std::runtime_error on I/O failure.
+void SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace grw

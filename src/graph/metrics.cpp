@@ -1,0 +1,84 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace grw {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const VertexId n = g.NumNodes();
+  if (n == 0) return stats;
+  std::vector<uint32_t> degrees(n);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  stats.min = std::numeric_limits<uint32_t>::max();
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t d = g.Degree(v);
+    degrees[v] = d;
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean = sum / n;
+  stats.variance = sum_sq / n - stats.mean * stats.mean;
+  std::sort(degrees.begin(), degrees.end());
+  stats.p50 = degrees[n / 2];
+  stats.p90 = degrees[static_cast<size_t>(n) * 9 / 10];
+  stats.p99 = degrees[static_cast<size_t>(n) * 99 / 100];
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> histogram(static_cast<size_t>(g.MaxDegree()) + 1, 0);
+  for (VertexId v = 0; v < g.NumNodes(); ++v) histogram[g.Degree(v)]++;
+  return histogram;
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation over directed edge endpoint degrees (Newman).
+  double sum_x = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  uint64_t m2 = 0;  // directed edge count
+  for (VertexId u = 0; u < g.NumNodes(); ++u) {
+    const double du = g.Degree(u);
+    for (VertexId v : g.Neighbors(u)) {
+      const double dv = g.Degree(v);
+      sum_x += du;
+      sum_xx += du * du;
+      sum_xy += du * dv;
+      ++m2;
+    }
+  }
+  if (m2 == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double inv = 1.0 / static_cast<double>(m2);
+  const double mean = sum_x * inv;
+  const double var = sum_xx * inv - mean * mean;
+  if (var <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return (sum_xy * inv - mean * mean) / var;
+}
+
+double AverageLocalClustering(const Graph& g) {
+  double total = 0.0;
+  uint64_t eligible = 0;
+  for (VertexId v = 0; v < g.NumNodes(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    const size_t d = nbrs.size();
+    if (d < 2) continue;
+    uint64_t closed = 0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    total += 2.0 * static_cast<double>(closed) /
+             (static_cast<double>(d) * (d - 1));
+    ++eligible;
+  }
+  return eligible == 0 ? 0.0 : total / static_cast<double>(eligible);
+}
+
+}  // namespace grw

@@ -1,0 +1,39 @@
+// Descriptive graph metrics used by dataset reporting and the examples.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Summary statistics of the degree distribution.
+struct DegreeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  /// Degrees at the 50th / 90th / 99th percentiles.
+  uint32_t p50 = 0;
+  uint32_t p90 = 0;
+  uint32_t p99 = 0;
+};
+
+/// Computes degree statistics in one pass. Empty graph yields zeros.
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// Degree histogram: result[d] = number of nodes with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). In [-1, 1]; NaN for degenerate graphs (all degrees equal).
+double DegreeAssortativity(const Graph& g);
+
+/// Average local clustering coefficient (Watts-Strogatz definition):
+/// mean over nodes with degree >= 2 of (triangles at v) / C(d_v, 2).
+/// Distinct from the *global* coefficient 3T/W used by the paper.
+double AverageLocalClustering(const Graph& g);
+
+}  // namespace grw

@@ -1,0 +1,177 @@
+#include "graphlet/catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <bit>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+namespace grw {
+
+uint32_t MaskFromEdges(int k,
+                       const std::vector<std::pair<int, int>>& edges) {
+  uint32_t mask = 0;
+  for (const auto& [i, j] : edges) {
+    assert(i != j && i >= 0 && j >= 0 && i < k && j < k);
+    mask = MaskWithEdge(mask, k, i, j);
+  }
+  return mask;
+}
+
+bool MaskIsConnected(uint32_t mask, int k) {
+  if (k <= 1) return true;
+  uint32_t visited = 1u;  // vertex bit set, start from vertex 0
+  uint32_t frontier = 1u;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (int i = 0; i < k; ++i) {
+      if (!((frontier >> i) & 1u)) continue;
+      for (int j = 0; j < k; ++j) {
+        if (j != i && !((visited >> j) & 1u) && MaskHasEdge(mask, k, i, j)) {
+          next |= 1u << j;
+        }
+      }
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == (1u << k) - 1u;
+}
+
+uint32_t ApplyPermutation(uint32_t mask, int k, const int* perm) {
+  uint32_t out = 0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (MaskHasEdge(mask, k, i, j)) {
+        out = MaskWithEdge(out, k, perm[i], perm[j]);
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t CanonicalMask(uint32_t mask, int k, int* canon_perm) {
+  int perm[kMaxGraphletSize] = {};
+  std::iota(perm, perm + k, 0);
+  uint32_t best = ApplyPermutation(mask, k, perm);
+  if (canon_perm != nullptr) std::copy(perm, perm + k, canon_perm);
+  while (std::next_permutation(perm, perm + k)) {
+    const uint32_t candidate = ApplyPermutation(mask, k, perm);
+    if (candidate < best) {
+      best = candidate;
+      if (canon_perm != nullptr) std::copy(perm, perm + k, canon_perm);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Standard names for the small graphlets, in paper Figure 2 terminology.
+std::string GraphletName(int k, uint32_t canonical_mask, int num_edges,
+                         int index_within_size) {
+  if (k == 3) return num_edges == 2 ? "wedge" : "triangle";
+  if (k == 4) {
+    // Distinguish by degree multiset.
+    int deg[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (i != j && MaskHasEdge(canonical_mask, 4, i, j)) deg[i]++;
+      }
+    }
+    std::sort(deg, deg + 4);
+    if (num_edges == 3) return deg[3] == 3 ? "3-star" : "4-path";
+    if (num_edges == 4) return deg[0] == 2 ? "4-cycle" : "tailed-triangle";
+    if (num_edges == 5) return "chordal-cycle";
+    return "4-clique";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "k%d-e%d-%d", k, num_edges,
+                index_within_size);
+  return buf;
+}
+
+}  // namespace
+
+GraphletCatalog::GraphletCatalog(int k) : k_(k) {
+  if (k < 2 || k > kMaxGraphletSize) {
+    throw std::invalid_argument("GraphletCatalog: k out of range");
+  }
+  const int bits = NumPairBits(k);
+  const uint32_t num_masks = 1u << bits;
+  canonical_to_id_.assign(num_masks, -1);
+
+  // Enumerate all masks; record each connected canonical form once.
+  std::vector<uint32_t> canon_masks;
+  std::vector<char> seen(num_masks, 0);
+  for (uint32_t mask = 0; mask < num_masks; ++mask) {
+    if (!MaskIsConnected(mask, k)) continue;
+    const uint32_t canon = CanonicalMask(mask, k);
+    if (!seen[canon]) {
+      seen[canon] = 1;
+      canon_masks.push_back(canon);
+    }
+  }
+  std::sort(canon_masks.begin(), canon_masks.end(),
+            [](uint32_t a, uint32_t b) {
+              const int ea = std::popcount(a);
+              const int eb = std::popcount(b);
+              return ea != eb ? ea < eb : a < b;
+            });
+
+  int index_within_edge_count = 0;
+  int prev_edges = -1;
+  for (uint32_t canon : canon_masks) {
+    Graphlet g;
+    g.k = k;
+    g.canonical_mask = canon;
+    g.num_edges = std::popcount(canon);
+    for (int i = 0; i < k; ++i) {
+      for (int j = i + 1; j < k; ++j) {
+        if (MaskHasEdge(canon, k, i, j)) {
+          g.edges.emplace_back(i, j);
+          g.degree[i]++;
+          g.degree[j]++;
+        }
+      }
+    }
+    index_within_edge_count =
+        g.num_edges == prev_edges ? index_within_edge_count + 1 : 0;
+    prev_edges = g.num_edges;
+    g.name = GraphletName(k, canon, g.num_edges, index_within_edge_count);
+    canonical_to_id_[canon] = static_cast<int16_t>(graphlets_.size());
+    graphlets_.push_back(std::move(g));
+  }
+}
+
+int GraphletCatalog::IdForCanonicalMask(uint32_t canonical_mask) const {
+  if (canonical_mask >= canonical_to_id_.size()) return -1;
+  return canonical_to_id_[canonical_mask];
+}
+
+int GraphletCatalog::IdByName(const std::string& name) const {
+  for (size_t id = 0; id < graphlets_.size(); ++id) {
+    if (graphlets_[id].name == name) return static_cast<int>(id);
+  }
+  return -1;
+}
+
+int GraphletCatalog::Classify(uint32_t mask) const {
+  return IdForCanonicalMask(CanonicalMask(mask, k_));
+}
+
+const GraphletCatalog& GraphletCatalog::ForSize(int k) {
+  if (k < 2 || k > kMaxGraphletSize) {
+    throw std::invalid_argument("GraphletCatalog::ForSize: k out of range");
+  }
+  static std::once_flag flags[kMaxGraphletSize + 1];
+  static std::unique_ptr<GraphletCatalog> catalogs[kMaxGraphletSize + 1];
+  std::call_once(flags[k], [k] {
+    catalogs[k] = std::unique_ptr<GraphletCatalog>(new GraphletCatalog(k));
+  });
+  return *catalogs[k];
+}
+
+}  // namespace grw

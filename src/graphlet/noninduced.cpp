@@ -1,0 +1,93 @@
+#include "graphlet/noninduced.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "graphlet/catalog.h"
+
+namespace grw {
+
+namespace {
+
+// Counts permutations sigma with: every edge (i,j) of h maps to an edge
+// (sigma(i), sigma(j)) of g. Exact match (subset == equality) counts
+// automorphism-like maps when h == g.
+int64_t EdgePreservingMaps(const Graphlet& h, const Graphlet& g) {
+  const int k = h.k;
+  int perm[kMaxGraphletSize];
+  std::iota(perm, perm + k, 0);
+  int64_t count = 0;
+  do {
+    bool ok = true;
+    for (const auto& [i, j] : h.edges) {
+      if (!MaskHasEdge(g.canonical_mask, k, perm[i], perm[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++count;
+  } while (std::next_permutation(perm, perm + k));
+  return count;
+}
+
+}  // namespace
+
+int64_t AutomorphismCount(int k, int id) {
+  const Graphlet& g = GraphletCatalog::ForSize(k).Get(id);
+  // Edge-preserving maps g -> g with equal edge counts are exactly the
+  // automorphisms (an injection of m edges into m edges is a bijection).
+  return EdgePreservingMaps(g, g);
+}
+
+int64_t EmbeddingCount(int k, int h_id, int g_id) {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(k);
+  const Graphlet& h = catalog.Get(h_id);
+  const Graphlet& g = catalog.Get(g_id);
+  if (h.num_edges > g.num_edges) return 0;
+  // Each non-induced copy of h in g corresponds to |Aut(h)| edge-preserving
+  // vertex maps.
+  return EdgePreservingMaps(h, g) / AutomorphismCount(k, h_id);
+}
+
+std::vector<std::vector<int64_t>> EmbeddingMatrix(int k) {
+  const int n = GraphletCatalog::ForSize(k).NumTypes();
+  std::vector<std::vector<int64_t>> b(n, std::vector<int64_t>(n, 0));
+  for (int h = 0; h < n; ++h) {
+    for (int g = 0; g < n; ++g) b[h][g] = EmbeddingCount(k, h, g);
+  }
+  return b;
+}
+
+std::vector<double> InducedFromNonInduced(int k,
+                                          const std::vector<double>& big_n) {
+  const auto b = EmbeddingMatrix(k);
+  const int n = static_cast<int>(b.size());
+  assert(static_cast<int>(big_n.size()) == n);
+  // Catalog order sorts by edge count, so B is unitriangular: B[h][g] == 0
+  // for h > g (denser pattern cannot embed in sparser one) and B[g][g] == 1.
+  std::vector<double> induced(big_n);
+  for (int h = n - 1; h >= 0; --h) {
+    for (int g = h + 1; g < n; ++g) {
+      induced[h] -= static_cast<double>(b[h][g]) * induced[g];
+    }
+    assert(b[h][h] == 1);
+  }
+  return induced;
+}
+
+std::vector<double> NonInducedFromInduced(int k,
+                                          const std::vector<double>& induced) {
+  const auto b = EmbeddingMatrix(k);
+  const int n = static_cast<int>(b.size());
+  assert(static_cast<int>(induced.size()) == n);
+  std::vector<double> big_n(n, 0.0);
+  for (int h = 0; h < n; ++h) {
+    for (int g = 0; g < n; ++g) {
+      big_n[h] += static_cast<double>(b[h][g]) * induced[g];
+    }
+  }
+  return big_n;
+}
+
+}  // namespace grw

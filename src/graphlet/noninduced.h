@@ -1,0 +1,44 @@
+// Non-induced (subgraph) vs induced pattern counts.
+//
+// Several components need the linear relationship between non-induced
+// spanning-subgraph counts N_H and induced graphlet counts n_g of the same
+// size k:
+//
+//   N_H = sum_g B[H][g] * n_g,
+//
+// where B[H][g] is the number of non-induced copies of pattern H spanning
+// the vertex set of graphlet g. The paper invokes this relationship in
+// footnote 3 (recovering 3-star concentration under SRW1) and it underlies
+// the path-sampling baseline's beta coefficients (how many spanning 3-paths
+// each 4-node graphlet contains) and the formula-based exact 4-node counter.
+//
+// We compute B programmatically by permutation enumeration over the catalog
+// — no hand-copied constant tables to get wrong. With catalog ids ordered
+// by edge count, B is unitriangular, so the inversion is exact integer back
+// substitution.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace grw {
+
+/// |Aut(g)|: number of automorphisms of catalog graphlet `id` of size k.
+int64_t AutomorphismCount(int k, int id);
+
+/// Number of non-induced copies of pattern `h_id` spanning the vertex set
+/// of graphlet `g_id` (both k-node catalog ids). B[h][g] in the docs above.
+int64_t EmbeddingCount(int k, int h_id, int g_id);
+
+/// Full matrix B, B[h][g] indexed by catalog ids.
+std::vector<std::vector<int64_t>> EmbeddingMatrix(int k);
+
+/// Solves N = B * n for induced counts n given non-induced counts N.
+/// Exact back substitution (B is unitriangular in catalog order).
+std::vector<double> InducedFromNonInduced(int k, const std::vector<double>& N);
+
+/// Computes non-induced counts N = B * n from induced counts n.
+std::vector<double> NonInducedFromInduced(int k, const std::vector<double>& n);
+
+}  // namespace grw

@@ -1,0 +1,67 @@
+#include "graphlet/orbits.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+
+namespace grw {
+
+OrbitCatalog::OrbitCatalog(int k) : k_(k) {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(k);
+  orbit_of_.resize(catalog.NumTypes());
+  per_type_.resize(catalog.NumTypes());
+  for (int type = 0; type < catalog.NumTypes(); ++type) {
+    const Graphlet& g = catalog.Get(type);
+    // Union automorphism images: vertex i and perm[i] share an orbit for
+    // every automorphism perm. Union-find over k elements.
+    std::array<int, kMaxGraphletSize> parent;
+    std::iota(parent.begin(), parent.begin() + k, 0);
+    auto find = [&parent](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    int perm[kMaxGraphletSize] = {};
+    std::iota(perm, perm + k, 0);
+    do {
+      if (ApplyPermutation(g.canonical_mask, k, perm) != g.canonical_mask) {
+        continue;
+      }
+      for (int i = 0; i < k; ++i) {
+        const int a = find(i);
+        const int b = find(perm[i]);
+        if (a != b) parent[a] = b;
+      }
+    } while (std::next_permutation(perm, perm + k));
+
+    // Assign consecutive global ids in order of first occurrence.
+    std::array<int, kMaxGraphletSize> local = {};
+    local.fill(-1);
+    int in_graphlet = 0;
+    for (int v = 0; v < k; ++v) {
+      const int root = find(v);
+      if (local[root] == -1) {
+        local[root] = num_orbits_++;
+        ++in_graphlet;
+      }
+      orbit_of_[type][v] = local[root];
+    }
+    per_type_[type] = in_graphlet;
+  }
+}
+
+const OrbitCatalog& OrbitCatalog::ForSize(int k) {
+  if (k < 2 || k > kMaxGraphletSize) {
+    throw std::invalid_argument("OrbitCatalog::ForSize: k out of range");
+  }
+  static std::once_flag flags[kMaxGraphletSize + 1];
+  static std::unique_ptr<OrbitCatalog> catalogs[kMaxGraphletSize + 1];
+  std::call_once(flags[k], [k] {
+    catalogs[k] = std::unique_ptr<OrbitCatalog>(new OrbitCatalog(k));
+  });
+  return *catalogs[k];
+}
+
+}  // namespace grw

@@ -1,0 +1,52 @@
+// Graphlet orbits: the automorphism equivalence classes of vertex
+// positions within each graphlet.
+//
+// The biology applications the paper cites (graphlet degree signatures,
+// Milenkovic & Przulj) characterize a node by how often it touches each
+// *orbit* — e.g. a wedge has two orbits (end, center), the 73 orbits of
+// the 2..5-node graphlets form the classic GDV signature. We derive the
+// orbits programmatically from the catalog (no hard-coded tables): two
+// vertices of a graphlet share an orbit iff some automorphism maps one to
+// the other.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graphlet/catalog.h"
+
+namespace grw {
+
+/// Orbit structure of all k-node graphlets.
+class OrbitCatalog {
+ public:
+  /// Shared singleton per size, 2 <= k <= kMaxGraphletSize.
+  static const OrbitCatalog& ForSize(int k);
+
+  int k() const { return k_; }
+
+  /// Total number of orbits across all k-node graphlets
+  /// (k=2: 1, k=3: 3, k=4: 11, k=5: 58 — summing to the classic 73).
+  int NumOrbits() const { return num_orbits_; }
+
+  /// Global orbit id of canonical vertex `vertex` of catalog graphlet
+  /// `type`. Orbit ids are consecutive, ordered by (type, first vertex).
+  int OrbitOf(int type, int vertex) const {
+    return orbit_of_[type][vertex];
+  }
+
+  /// Number of distinct orbits within one graphlet.
+  int OrbitsInGraphlet(int type) const { return per_type_[type]; }
+
+ private:
+  explicit OrbitCatalog(int k);
+
+  int k_;
+  int num_orbits_ = 0;
+  std::vector<std::array<int, kMaxGraphletSize>> orbit_of_;
+  std::vector<int> per_type_;
+};
+
+}  // namespace grw

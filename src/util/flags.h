@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches
+// (`--paper`). Deliberately minimal: the benches take a handful of knobs
+// (steps, sims, scale, csv path) and we avoid an external dependency.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grw {
+
+/// Parsed command-line flags.
+class Flags {
+ public:
+  /// Parses argv. Unknown flags are collected verbatim; positional
+  /// arguments (not starting with "--") are collected in order.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  /// Boolean: present without value or with value in {1,true,yes,on}.
+  bool GetBool(const std::string& name, bool default_value = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace grw

@@ -1,0 +1,49 @@
+// Parallel-for helper for the NRMSE experiment runner.
+//
+// Experiments run R independent Markov chains (paper: 100-1000 independent
+// simulations per data point); each chain is embarrassingly parallel, so a
+// simple static-chunked thread fan-out is all we need — no work stealing,
+// no shared queues.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace grw {
+
+/// Number of hardware threads, at least 1.
+inline unsigned HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Runs body(i) for i in [0, n) across up to `threads` std::threads.
+/// body must be safe to call concurrently for distinct i.
+/// threads == 0 means HardwareThreads().
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                        unsigned threads = 0) {
+  if (n == 0) return;
+  if (threads == 0) threads = HardwareThreads();
+  threads = static_cast<unsigned>(
+      std::min<size_t>(threads, n));
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([t, threads, n, &body] {
+      // Strided assignment keeps per-thread work balanced when later
+      // indices are systematically cheaper/more expensive.
+      for (size_t i = t; i < n; i += threads) body(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace grw

@@ -1,0 +1,118 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace grw {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Sci(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::Duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render = [&widths](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << (i == 0 ? "| " : " | ");
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    os << " |";
+    return os.str();
+  };
+
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+
+  std::ostringstream os;
+  os << title_ << "\n" << std::string(total, '-') << "\n";
+  if (!header_.empty()) {
+    os << render(header_) << "\n" << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) os << render(row) << "\n";
+  os << std::string(total, '-') << "\n";
+  return os.str();
+}
+
+void Table::Print() const { std::cout << ToString() << std::endl; }
+
+namespace {
+// CSV-escapes a cell: quotes it if it contains a comma, quote, or newline.
+std::string CsvCell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto write_row = [&f](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) f << ',';
+      f << CsvCell(row[i]);
+    }
+    f << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(f);
+}
+
+}  // namespace grw

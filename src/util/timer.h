@@ -1,0 +1,29 @@
+// Minimal wall-clock timing used by the runtime benches (paper Table 6).
+
+#pragma once
+
+#include <chrono>
+
+namespace grw {
+
+/// Wall-clock stopwatch. Starts on construction; Restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace grw

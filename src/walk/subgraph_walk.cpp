@@ -1,0 +1,127 @@
+#include "walk/subgraph_walk.h"
+
+#include <cassert>
+
+namespace grw {
+
+bool InducedSubgraphConnected(const Graph& g,
+                              std::span<const VertexId> nodes) {
+  const int n = static_cast<int>(nodes.size());
+  if (n <= 1) return true;
+  uint32_t visited = 1u;
+  uint32_t frontier = 1u;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (int i = 0; i < n; ++i) {
+      if (!((frontier >> i) & 1u)) continue;
+      for (int j = 0; j < n; ++j) {
+        if (!((visited >> j) & 1u) && g.HasEdge(nodes[i], nodes[j])) {
+          next |= 1u << j;
+        }
+      }
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == (1u << n) - 1u;
+}
+
+void EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
+                          std::vector<VertexId>* out_neighbors) {
+  const int d = static_cast<int>(state.size());
+  std::vector<VertexId> base(d - 1);
+  std::vector<VertexId> candidate(d);
+  std::vector<VertexId> additions;  // distinct v_in candidates per v_out
+
+  for (int out_idx = 0; out_idx < d; ++out_idx) {
+    // base = state minus the out_idx-th node, kept sorted.
+    for (int i = 0, j = 0; i < d; ++i) {
+      if (i != out_idx) base[j++] = state[i];
+    }
+    // Candidate incoming nodes: neighbors of the base, outside the state.
+    // (A node with no edge to the base can never yield a connected
+    // candidate, since all its candidate edges go to the base.)
+    additions.clear();
+    for (VertexId v : base) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (std::find(state.begin(), state.end(), w) == state.end()) {
+          additions.push_back(w);
+        }
+      }
+    }
+    std::sort(additions.begin(), additions.end());
+    additions.erase(std::unique(additions.begin(), additions.end()),
+                    additions.end());
+
+    for (VertexId w : additions) {
+      // candidate = sorted(base + {w}). Distinct (out_idx, w) pairs always
+      // produce distinct candidates, so no cross-out_idx dedup is needed.
+      std::merge(base.begin(), base.end(), &w, &w + 1, candidate.begin());
+      if (InducedSubgraphConnected(g, candidate)) {
+        out_neighbors->insert(out_neighbors->end(), candidate.begin(),
+                              candidate.end());
+      }
+    }
+  }
+}
+
+uint64_t SubgraphStateDegree(const Graph& g,
+                             std::span<const VertexId> state) {
+  std::vector<VertexId> scratch;
+  EnumerateGdNeighbors(g, state, &scratch);
+  return scratch.size() / state.size();
+}
+
+void SubgraphWalk::Reset(Rng& rng) {
+  // Grow a connected d-set from a random start node by repeatedly adding a
+  // random neighbor of a random member. Retry from scratch if the region
+  // around the start is too small (cannot happen in a connected graph with
+  // n > d, but the loop also guards against pathological RNG luck).
+  while (true) {
+    nodes_.clear();
+    nodes_.push_back(static_cast<VertexId>(rng.UniformInt(g_->NumNodes())));
+    int guard = 0;
+    while (static_cast<int>(nodes_.size()) < d_ && guard++ < 16 * d_) {
+      const VertexId anchor = nodes_[rng.UniformInt(nodes_.size())];
+      const uint32_t deg = g_->Degree(anchor);
+      if (deg == 0) break;
+      const VertexId w =
+          g_->Neighbor(anchor, static_cast<uint32_t>(rng.UniformInt(deg)));
+      if (std::find(nodes_.begin(), nodes_.end(), w) == nodes_.end()) {
+        nodes_.push_back(w);
+      }
+    }
+    if (static_cast<int>(nodes_.size()) == d_) break;
+  }
+  std::sort(nodes_.begin(), nodes_.end());
+  prev_.clear();
+  neighbors_valid_ = false;
+}
+
+void SubgraphWalk::Step(Rng& rng) {
+  EnsureNeighbors();
+  const size_t count = neighbors_.size() / d_;
+  assert(count > 0 && "state with no G(d) neighbors in a connected graph");
+
+  size_t pick = rng.UniformInt(count);
+  if (nb_ && !prev_.empty() && count >= 2) {
+    // Uniform over neighbors excluding the previous state.
+    auto is_prev = [this](size_t idx) {
+      return std::equal(prev_.begin(), prev_.end(),
+                        neighbors_.begin() + idx * d_);
+    };
+    while (is_prev(pick)) pick = rng.UniformInt(count);
+  }
+
+  prev_ = nodes_;
+  nodes_.assign(neighbors_.begin() + pick * d_,
+                neighbors_.begin() + (pick + 1) * d_);
+  neighbors_valid_ = false;
+}
+
+uint64_t SubgraphWalk::DegreeOfState(
+    std::span<const VertexId> state_nodes) const {
+  return SubgraphStateDegree(*g_, state_nodes);
+}
+
+}  // namespace grw

@@ -1,0 +1,94 @@
+// Random walk on G(d) for d >= 3: states are connected induced d-node
+// subgraphs, enumerated on the fly.
+//
+// This is the walk behind SRW3 and SRW4 — i.e. PSRW (Wang et al.) when
+// d = k-1 — kept as the paper's main comparison method. Per Section 5,
+// drawing a *uniform* neighbor of a state s requires generating all
+// neighbors: every t = (V(s) \ {v_out}) ∪ {v_in} with v_in adjacent to the
+// remainder and t connected. That costs O(d^2 |E|/|V|) per step, which is
+// exactly why the paper argues for walking with small d; our Table 6 bench
+// reproduces the resulting runtime gap.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "walk/walker.h"
+
+namespace grw {
+
+/// Appends to *out_neighbors all G(d)-neighbors of `state` (sorted node
+/// ids, d = state.size()), flattened d ids per neighbor, each sorted.
+/// A neighbor is any connected induced d-node subgraph sharing exactly
+/// d-1 nodes with `state`.
+void EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
+                          std::vector<VertexId>* out_neighbors);
+
+/// Degree of `state` in G(d): the number of neighbors above.
+uint64_t SubgraphStateDegree(const Graph& g,
+                             std::span<const VertexId> state);
+
+/// True iff the subgraph induced by `nodes` (<= 32 of them) is connected.
+bool InducedSubgraphConnected(const Graph& g,
+                              std::span<const VertexId> nodes);
+
+/// Random walk on connected induced d-node subgraphs of G, d >= 3.
+class SubgraphWalk final : public StateWalker {
+ public:
+  SubgraphWalk(const Graph& g, int d, bool non_backtracking = false)
+      : g_(&g), d_(d), nb_(non_backtracking) {
+    if (d < 3) {
+      throw std::invalid_argument("SubgraphWalk: use NodeWalk/EdgeWalk");
+    }
+    if (g.NumNodes() < static_cast<VertexId>(d + 1)) {
+      throw std::invalid_argument("SubgraphWalk: graph too small");
+    }
+    nodes_.reserve(d);
+    prev_.reserve(d);
+  }
+
+  int d() const override { return d_; }
+
+  void Reset(Rng& rng) override;
+
+  void Step(Rng& rng) override;
+
+  std::span<const VertexId> Nodes() const override {
+    return {nodes_.data(), nodes_.size()};
+  }
+
+  /// Number of neighbor states; triggers (cached) neighbor enumeration.
+  uint64_t StateDegree() const override {
+    EnsureNeighbors();
+    return neighbors_.size() / d_;
+  }
+
+  bool non_backtracking() const override { return nb_; }
+
+  /// Degree in G(d) of an arbitrary connected induced d-node subgraph,
+  /// given as a node set. Used by CSS weighting for d >= 3 (the expensive
+  /// path the paper excludes from its benchmarks as SRW3CSS).
+  uint64_t DegreeOfState(std::span<const VertexId> state_nodes) const;
+
+ private:
+  void EnsureNeighbors() const {
+    if (!neighbors_valid_) {
+      neighbors_.clear();
+      EnumerateGdNeighbors(*g_, Nodes(), &neighbors_);
+      neighbors_valid_ = true;
+    }
+  }
+
+  const Graph* g_;
+  int d_;
+  bool nb_;
+  std::vector<VertexId> nodes_;  // sorted
+  std::vector<VertexId> prev_;   // sorted; empty until first Step
+  mutable std::vector<VertexId> neighbors_;  // flattened neighbor states
+  mutable bool neighbors_valid_ = false;
+};
+
+}  // namespace grw

@@ -1,0 +1,143 @@
+// Tests for the baseline samplers: alias method, wedge sampling, path
+// sampling, and the adapted Wedge-MHRW (paper Algorithm 4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/alias.h"
+#include "baselines/path_sampling.h"
+#include "baselines/wedge_mhrw.h"
+#include "baselines/wedge_sampling.h"
+#include "exact/exact.h"
+#include "exact/triangle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graphlet/catalog.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(AliasTest, MatchesWeightsEmpirically) {
+  const std::vector<double> weights = {1.0, 0.0, 3.0, 6.0};
+  AliasTable table(weights);
+  EXPECT_DOUBLE_EQ(table.TotalWeight(), 10.0);
+  Rng rng(5);
+  std::vector<uint64_t> hits(weights.size(), 0);
+  const uint64_t n = 400000;
+  for (uint64_t s = 0; s < n; ++s) hits[table.Sample(rng)]++;
+  EXPECT_EQ(hits[1], 0u);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double freq = static_cast<double>(hits[i]) / n;
+    EXPECT_NEAR(freq, weights[i] / 10.0, 0.01) << "i=" << i;
+  }
+}
+
+TEST(AliasTest, RejectsDegenerateInput) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(AliasTest, SingleElement) {
+  AliasTable table({42.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(WedgeSamplingTest, TriangleEstimateConvergesToExact) {
+  Rng rng(11);
+  const Graph g = LargestConnectedComponent(HolmeKim(500, 4, 0.5, rng));
+  const uint64_t exact = CountTriangles(g).total;
+  WedgeSampler sampler(g);
+  Rng sample_rng(21);
+  const auto result = sampler.Run(300000, sample_rng);
+  EXPECT_NEAR(result.triangles, static_cast<double>(exact),
+              0.05 * static_cast<double>(exact));
+  // Concentrations also converge.
+  const auto truth = ExactConcentrations(g, 3);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(result.concentrations[i], truth[i], 0.02);
+  }
+}
+
+TEST(WedgeSamplingTest, CompleteGraphAllWedgesClosed) {
+  const Graph g = Complete(6);
+  WedgeSampler sampler(g);
+  Rng rng(3);
+  for (int s = 0; s < 200; ++s) {
+    EXPECT_TRUE(sampler.SampleClosedWedge(rng));
+  }
+  EXPECT_DOUBLE_EQ(sampler.TotalWedges(),
+                   static_cast<double>(g.WedgeCount()));
+}
+
+TEST(PathSamplingTest, CountsConvergeToExact) {
+  Rng rng(13);
+  const Graph g = LargestConnectedComponent(HolmeKim(400, 4, 0.5, rng));
+  const auto exact = ExactGraphletCounts(g, 4);
+  PathSampler sampler(g);
+  Rng sample_rng(17);
+  const auto result = sampler.Run(400000, sample_rng);
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const double truth = static_cast<double>(exact[i]);
+    EXPECT_NEAR(result.counts[i], truth, 0.10 * truth + 2.0) << "i=" << i;
+  }
+}
+
+TEST(PathSamplingTest, StarOnlyGraphIsHandled) {
+  // A star has no 3-paths at all: tau_e = 0 for every edge... except the
+  // hub-leaf edges where (d_u - 1)(d_v - 1) = 0. Total weight zero would
+  // be degenerate; use a double star (two hubs joined) instead, where the
+  // only positive-weight edge is the bridge.
+  std::vector<std::pair<VertexId, VertexId>> edges = {{0, 1}};
+  for (VertexId leaf = 2; leaf < 6; ++leaf) edges.push_back({0, leaf});
+  for (VertexId leaf = 6; leaf < 10; ++leaf) edges.push_back({1, leaf});
+  const Graph g = FromEdges(10, edges);
+  PathSampler sampler(g);
+  Rng rng(23);
+  const auto result = sampler.Run(50000, rng);
+  const auto exact = ExactGraphletCounts(g, 4);
+  const GraphletCatalog& c4 = GraphletCatalog::ForSize(4);
+  // Paths through the bridge: 4 * 4 = 16, matching exact.
+  EXPECT_NEAR(result.counts[c4.IdByName("4-path")],
+              static_cast<double>(exact[c4.IdByName("4-path")]), 1.0);
+  // Stars recovered exactly from degrees (no denser graphlets here).
+  EXPECT_NEAR(result.counts[c4.IdByName("3-star")],
+              static_cast<double>(exact[c4.IdByName("3-star")]), 1e-6);
+}
+
+TEST(WedgeMhrwTest, ConvergesToTriangleConcentration) {
+  Rng rng(29);
+  const Graph g = LargestConnectedComponent(HolmeKim(400, 4, 0.5, rng));
+  const auto truth = ExactConcentrations(g, 3);
+  WedgeMhrw mhrw(g);
+  std::vector<double> mean(2, 0.0);
+  const int chains = 6;
+  for (int c = 0; c < chains; ++c) {
+    mhrw.Reset(100 + c);
+    mhrw.Run(150000);
+    const auto est = mhrw.Concentrations();
+    for (size_t i = 0; i < est.size(); ++i) mean[i] += est[i] / chains;
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(mean[i], truth[i], 0.03) << "i=" << i;
+  }
+}
+
+TEST(WedgeMhrwTest, BookkeepingAndDeterminism) {
+  const Graph g = KarateClub();
+  WedgeMhrw mhrw(g);
+  mhrw.Reset(7);
+  mhrw.Run(5000);
+  EXPECT_EQ(mhrw.Steps(), 5000u);
+  EXPECT_EQ(mhrw.ClosedWedges() > 0, true);
+  const auto first = mhrw.Concentrations();
+  mhrw.Reset(7);
+  mhrw.Run(5000);
+  EXPECT_EQ(mhrw.Concentrations(), first);
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,86 @@
+// Tests for batch-means error bars.
+
+#include "core/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/exact.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graphlet/catalog.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(BatchMeansTest, ErrorBarsCoverTheTruthMostOfTheTime) {
+  Rng rng(19);
+  const Graph g = LargestConnectedComponent(HolmeKim(400, 4, 0.5, rng));
+  const auto truth = ExactConcentrations(g, 3);
+  const GraphletCatalog& c3 = GraphletCatalog::ForSize(3);
+  const int triangle = c3.IdByName("triangle");
+
+  int covered = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto est = EstimateWithErrorBars(
+        g, EstimatorConfig{3, 1, true, false}, 40000, 20, 700 + trial);
+    // 3-sigma interval; batch means underestimates slightly on short
+    // correlated chains, so ask for a generous coverage level.
+    if (std::abs(est.concentrations[triangle] - truth[triangle]) <=
+        3.0 * est.standard_errors[triangle]) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, trials * 7 / 10);
+}
+
+TEST(BatchMeansTest, ErrorsShrinkWithMoreSteps) {
+  Rng rng(21);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 4, 0.5, rng));
+  const GraphletCatalog& c3 = GraphletCatalog::ForSize(3);
+  const int triangle = c3.IdByName("triangle");
+  double short_se = 0.0;
+  double long_se = 0.0;
+  const int reps = 8;
+  for (int r = 0; r < reps; ++r) {
+    short_se += EstimateWithErrorBars(g, EstimatorConfig{3, 1, false, false},
+                                      4000, 10, 40 + r)
+                    .standard_errors[triangle] /
+                reps;
+    long_se += EstimateWithErrorBars(g, EstimatorConfig{3, 1, false, false},
+                                     64000, 10, 80 + r)
+                   .standard_errors[triangle] /
+               reps;
+  }
+  // 16x the steps should shrink the error by roughly 4x; require 2x.
+  EXPECT_LT(long_se, short_se / 2.0);
+}
+
+TEST(BatchMeansTest, BatchEstimatesStructure) {
+  const Graph g = KarateClub();
+  const auto est = EstimateWithErrorBars(
+      g, EstimatorConfig{4, 2, false, false}, 5000, 5, 3);
+  EXPECT_EQ(est.batch_estimates.size(), 5u);
+  EXPECT_EQ(est.steps, 5000u);
+  for (const auto& batch : est.batch_estimates) {
+    double sum = 0.0;
+    for (double c : batch) sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(BatchMeansTest, RejectsDegenerateBatching) {
+  const Graph g = KarateClub();
+  EXPECT_THROW(EstimateWithErrorBars(g, EstimatorConfig{3, 1, false, false},
+                                     100, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateWithErrorBars(g, EstimatorConfig{3, 1, false, false},
+                                     3, 10, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grw

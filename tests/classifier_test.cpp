@@ -1,0 +1,97 @@
+// Tests for the O(1) bitmask classifier, including the degree-signature
+// ambiguity of 5-node graphlets that motivates exact classification.
+
+#include "graphlet/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "graphlet/catalog.h"
+
+namespace grw {
+namespace {
+
+TEST(ClassifierTest, EveryConnectedMaskGetsItsCatalogId) {
+  for (int k = 3; k <= 5; ++k) {
+    const GraphletClassifier& classifier = GraphletClassifier::ForSize(k);
+    const GraphletCatalog& catalog = GraphletCatalog::ForSize(k);
+    const uint32_t num_masks = 1u << NumPairBits(k);
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      const int expected =
+          MaskIsConnected(mask, k) ? catalog.Classify(mask) : -1;
+      EXPECT_EQ(classifier.Type(mask), expected) << "k=" << k;
+    }
+  }
+}
+
+TEST(ClassifierTest, PermutationsMapMaskToCanonicalForm) {
+  for (int k = 3; k <= 5; ++k) {
+    const GraphletClassifier& classifier = GraphletClassifier::ForSize(k);
+    const GraphletCatalog& catalog = GraphletCatalog::ForSize(k);
+    const uint32_t num_masks = 1u << NumPairBits(k);
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      const MaskInfo& info = classifier.Info(mask);
+      if (info.type < 0) continue;
+      // Applying the stored permutation must produce the canonical mask.
+      int perm[kMaxGraphletSize];
+      for (int i = 0; i < k; ++i) perm[i] = info.canonical_label_of[i];
+      EXPECT_EQ(ApplyPermutation(mask, k, perm),
+                catalog.Get(info.type).canonical_mask);
+      // position_of must invert canonical_label_of.
+      for (int i = 0; i < k; ++i) {
+        EXPECT_EQ(info.position_of[info.canonical_label_of[i]], i);
+      }
+    }
+  }
+}
+
+TEST(ClassifierTest, DegreeSignatureAloneIsAmbiguousForFiveNodes) {
+  // Documents why we classify by full mask: at k = 5 there exist
+  // non-isomorphic graphlets with identical sorted degree sequences (the
+  // paper's cited degree-signature method needs extra care there).
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(5);
+  std::map<std::array<int, 5>, int> signature_count;
+  for (int id = 0; id < catalog.NumTypes(); ++id) {
+    std::array<int, 5> signature;
+    for (int v = 0; v < 5; ++v) signature[v] = catalog.Get(id).degree[v];
+    std::sort(signature.begin(), signature.end());
+    signature_count[signature]++;
+  }
+  int collisions = 0;
+  for (const auto& [sig, count] : signature_count) {
+    if (count > 1) collisions += count;
+  }
+  EXPECT_GT(collisions, 0)
+      << "expected at least one degree-sequence collision at k=5";
+  // But no collisions exist at k = 3, 4 (why degree signatures suffice
+  // there).
+  for (int k = 3; k <= 4; ++k) {
+    const GraphletCatalog& c = GraphletCatalog::ForSize(k);
+    std::map<std::vector<int>, int> sigs;
+    for (int id = 0; id < c.NumTypes(); ++id) {
+      std::vector<int> s(c.Get(id).degree.begin(),
+                         c.Get(id).degree.begin() + k);
+      std::sort(s.begin(), s.end());
+      sigs[s]++;
+    }
+    for (const auto& [sig, count] : sigs) EXPECT_EQ(count, 1) << "k=" << k;
+  }
+}
+
+TEST(ClassifierTest, SpecificShapes) {
+  const GraphletClassifier& classifier = GraphletClassifier::ForSize(4);
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(4);
+  EXPECT_EQ(classifier.Type(MaskFromEdges(4, {{3, 1}, {1, 0}, {0, 2}})),
+            catalog.IdByName("4-path"));
+  EXPECT_EQ(classifier.Type(MaskFromEdges(4, {{2, 0}, {2, 1}, {2, 3}})),
+            catalog.IdByName("3-star"));
+  EXPECT_EQ(classifier.Type(
+                MaskFromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})),
+            catalog.IdByName("chordal-cycle"));
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,126 @@
+// Tests for the evaluation layer: dataset registry, NRMSE experiment
+// runner, and graphlet-kernel similarity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimator.h"
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+#include "eval/similarity.h"
+#include "exact/exact.h"
+#include "graphlet/catalog.h"
+
+namespace grw {
+namespace {
+
+TEST(DatasetsTest, RegistryCoversAllPaperGraphs) {
+  const auto& registry = DatasetRegistry();
+  EXPECT_EQ(registry.size(), 10u);  // Table 5 has ten datasets
+  for (const char* paper :
+       {"BrightKite", "Epinion", "Slashdot", "Facebook", "Gowalla",
+        "Wikipedia", "Pokec", "Flickr", "Twitter", "Sinaweibo"}) {
+    EXPECT_TRUE(FindDataset(paper).has_value()) << paper;
+  }
+  EXPECT_FALSE(FindDataset("NoSuchGraph").has_value());
+}
+
+TEST(DatasetsTest, GenerationIsDeterministicAndConnected) {
+  const Graph a = MakeDatasetByName("brightkite-sim", 0.2);
+  const Graph b = MakeDatasetByName("brightkite-sim", 0.2);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_TRUE(a.IsConnected());
+}
+
+TEST(DatasetsTest, TierFiltering) {
+  const auto small = DatasetNames(DatasetTier::kSmall);
+  EXPECT_EQ(small.size(), 4u);
+  const auto medium = DatasetNames(DatasetTier::kMedium);
+  EXPECT_EQ(medium.size(), 8u);
+  const auto all = DatasetNames(DatasetTier::kLarge);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(DatasetsTest, ScaleValidation) {
+  EXPECT_THROW(MakeDatasetByName("epinion-sim", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(MakeDatasetByName("epinion-sim", 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(MakeDatasetByName("unknown"), std::invalid_argument);
+}
+
+TEST(ExperimentTest, ChainsAreDeterministicInBaseSeed) {
+  const Graph g = MakeDatasetByName("brightkite-sim", 0.1);
+  const EstimatorConfig config{3, 1, true, true};
+  const auto a = RunConcentrationChains(g, config, 2000, 6, 99);
+  const auto b = RunConcentrationChains(g, config, 2000, 6, 99);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (size_t c = 0; c < a.estimates.size(); ++c) {
+    EXPECT_EQ(a.estimates[c], b.estimates[c]) << "chain " << c;
+  }
+  // Thread count must not change results.
+  const auto serial = RunConcentrationChains(g, config, 2000, 6, 99, 1);
+  for (size_t c = 0; c < a.estimates.size(); ++c) {
+    EXPECT_EQ(a.estimates[c], serial.estimates[c]);
+  }
+}
+
+TEST(ExperimentTest, NrmseDropsWithMoreSteps) {
+  const Graph g = MakeDatasetByName("brightkite-sim", 0.15);
+  const auto truth = ExactConcentrations(g, 3);
+  const GraphletCatalog& c3 = GraphletCatalog::ForSize(3);
+  const int triangle = c3.IdByName("triangle");
+  const EstimatorConfig config{3, 1, false, false};
+  const auto nrmse = ConvergenceNrmse(g, config, {500, 2000, 8000, 32000},
+                                      40, 7, truth, triangle);
+  ASSERT_EQ(nrmse.size(), 4u);
+  // Monotone-ish decay: the last grid point must beat the first clearly.
+  EXPECT_LT(nrmse.back(), 0.6 * nrmse.front());
+}
+
+TEST(ExperimentTest, CountChainsProduceCountScaleEstimates) {
+  const Graph g = MakeDatasetByName("brightkite-sim", 0.1);
+  const auto exact = ExactGraphletCounts(g, 3);
+  const EstimatorConfig config{3, 1, false, false};
+  const auto chains = RunCountChains(g, config, 30000, 8, 3);
+  const GraphletCatalog& c3 = GraphletCatalog::ForSize(3);
+  const int wedge = c3.IdByName("wedge");
+  double mean = 0;
+  for (const auto& est : chains.estimates) {
+    mean += est[wedge] / chains.estimates.size();
+  }
+  EXPECT_NEAR(mean, static_cast<double>(exact[wedge]),
+              0.15 * static_cast<double>(exact[wedge]));
+}
+
+TEST(ExperimentTest, CustomChainsRunAllSims) {
+  const auto chains = RunCustomChains(
+      10, [](int i) { return std::vector<double>{static_cast<double>(i)}; });
+  ASSERT_EQ(chains.estimates.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(chains.estimates[i][0], i);
+  }
+}
+
+TEST(ExperimentTest, NrmseOfTypeMatchesDefinition) {
+  ChainEstimates chains;
+  chains.estimates = {{0.1, 0.9}, {0.3, 0.7}};
+  const std::vector<double> truth = {0.2, 0.8};
+  EXPECT_NEAR(NrmseOfType(chains, truth, 0), 0.5, 1e-12);
+  EXPECT_NEAR(NrmseOfType(chains, truth, 1), 0.125, 1e-12);
+}
+
+TEST(SimilarityTest, CosineProperties) {
+  EXPECT_DOUBLE_EQ(GraphletKernelSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(GraphletKernelSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_NEAR(GraphletKernelSimilarity({1, 1}, {1, 0}), 1 / std::sqrt(2.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(GraphletKernelSimilarity({0, 0}, {1, 1}), 0.0);
+  // Scale invariance.
+  EXPECT_NEAR(GraphletKernelSimilarity({0.2, 0.8}, {0.4, 1.6}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,130 @@
+// Tests for graph generators and the I/O round trip.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(GeneratorsTest, DeterministicFamilies) {
+  EXPECT_EQ(Complete(5).NumEdges(), 10u);
+  EXPECT_EQ(Path(6).NumEdges(), 5u);
+  EXPECT_EQ(Cycle(6).NumEdges(), 6u);
+  EXPECT_EQ(Star(6).NumEdges(), 5u);
+  EXPECT_EQ(CompleteBipartite(3, 4).NumEdges(), 12u);
+  EXPECT_EQ(Lollipop(4, 3).NumEdges(), 6u + 3u);
+  for (const Graph& g :
+       {Complete(5), Path(6), Cycle(6), Star(6), CompleteBipartite(3, 4),
+        Lollipop(4, 3), KarateClub()}) {
+    EXPECT_TRUE(g.IsConnected());
+  }
+}
+
+TEST(GeneratorsTest, KarateClubShape) {
+  const Graph g = KarateClub();
+  EXPECT_EQ(g.NumNodes(), 34u);
+  EXPECT_EQ(g.NumEdges(), 78u);
+  EXPECT_EQ(g.Degree(33), 17u);  // the instructor's hub degree
+}
+
+TEST(GeneratorsTest, ErdosRenyiHasRequestedShape) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(500, 1500, rng);
+  EXPECT_EQ(g.NumNodes(), 500u);
+  EXPECT_EQ(g.NumEdges(), 1500u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertIsSkewedAndDense) {
+  Rng rng(2);
+  const Graph g = BarabasiAlbert(2000, 5, rng);
+  EXPECT_GT(g.NumEdges(), 2000u * 5 * 8 / 10);
+  // Preferential attachment produces hubs well above the mean degree.
+  EXPECT_GT(g.MaxDegree(), 50u);
+}
+
+TEST(GeneratorsTest, HolmeKimTriadFormationRaisesClustering) {
+  Rng rng1(3);
+  Rng rng2(3);
+  const Graph low = HolmeKim(3000, 4, 0.0, rng1);
+  const Graph high = HolmeKim(3000, 4, 0.8, rng2);
+  // Compare wedge-closure ratios via triangle counts (local import to
+  // avoid a dependency cycle in the test target: triangles per wedge).
+  auto closure = [](const Graph& g) {
+    uint64_t closed = 0;
+    uint64_t total = 0;
+    for (VertexId u = 0; u < g.NumNodes(); ++u) {
+      const auto nbrs = g.Neighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          ++total;
+          if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+        }
+      }
+    }
+    return static_cast<double>(closed) / static_cast<double>(total);
+  };
+  EXPECT_GT(closure(high), 2.0 * closure(low));
+}
+
+TEST(GeneratorsTest, HolmeKimDegreeCapIsRespected) {
+  Rng rng(4);
+  const Graph g = HolmeKim(4000, 4, 0.5, rng, /*max_degree=*/64);
+  // The cap bounds the tail up to the +m slack of a node's own batch.
+  EXPECT_LE(g.MaxDegree(), 64u + 4u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzShape) {
+  Rng rng(5);
+  const Graph g = WattsStrogatz(1000, 3, 0.1, rng);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  // ~ n*k edges modulo rewiring collisions.
+  EXPECT_GT(g.NumEdges(), 2800u);
+  EXPECT_LE(g.NumEdges(), 3000u);
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  Rng rng(6);
+  const Graph g = LargestConnectedComponent(ErdosRenyi(100, 300, rng));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "grw_io_test.txt").string();
+  SaveEdgeList(g, path);
+  const Graph loaded = LoadEdgeList(path, /*largest_cc=*/false);
+  EXPECT_EQ(loaded.NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumNodes(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      EXPECT_TRUE(loaded.HasEdge(u, v));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, ParsesCommentsAndDirtyInput) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "grw_io_dirty.txt").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# snap comment\n% konect comment\n1 2\n2 3\n2 3\n3 3\n", f);
+    std::fputs("4 1\n", f);  // no trailing newline handled too
+    std::fclose(f);
+  }
+  const Graph g = LoadEdgeList(path, /*largest_cc=*/false);
+  EXPECT_EQ(g.NumNodes(), 4u);  // ids 1,2,3,4 (self-loop 3-3 dropped)
+  EXPECT_EQ(g.NumEdges(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadEdgeList("/nonexistent/nowhere.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace grw

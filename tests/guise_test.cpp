@@ -1,0 +1,111 @@
+// Tests for the GUISE baseline (MH-uniform sampling over 3/4/5-node
+// graphlets) and the Hardiman-Katzir clustering estimator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/guise.h"
+#include "baselines/hardiman_katzir.h"
+#include "exact/exact.h"
+#include "exact/triangle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graphlet/catalog.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(GuiseTest, ConvergesToConcentrationsOfAllThreeSizes) {
+  Rng rng(51);
+  const Graph g = LargestConnectedComponent(HolmeKim(90, 4, 0.5, rng));
+  Guise guise(g);
+  // Average a few chains; GUISE mixes slower than the framework.
+  std::vector<std::vector<double>> mean(6);
+  const int chains = 3;
+  for (int k = 3; k <= 5; ++k) {
+    mean[k].assign(GraphletCatalog::ForSize(k).NumTypes(), 0.0);
+  }
+  for (int c = 0; c < chains; ++c) {
+    guise.Reset(700 + c);
+    guise.Run(60000);
+    for (int k = 3; k <= 5; ++k) {
+      const auto est = guise.Concentrations(k);
+      for (size_t i = 0; i < est.size(); ++i) {
+        mean[k][i] += est[i] / chains;
+      }
+    }
+  }
+  for (int k = 3; k <= 5; ++k) {
+    const auto truth = ExactConcentrations(g, k);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_NEAR(mean[k][i], truth[i], 0.07) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(GuiseTest, ReportsRejections) {
+  Rng rng(52);
+  const Graph g = LargestConnectedComponent(HolmeKim(200, 4, 0.3, rng));
+  Guise guise(g);
+  guise.Reset(1);
+  guise.Run(5000);
+  EXPECT_EQ(guise.Steps(), 5000u);
+  // The MH filter rejects a meaningful share of proposals — the
+  // inefficiency the paper attributes to GUISE.
+  EXPECT_GT(guise.RejectionRate(), 0.01);
+  EXPECT_LT(guise.RejectionRate(), 0.9);
+}
+
+TEST(GuiseTest, RejectsTinyGraphs) {
+  EXPECT_THROW(Guise guise(Complete(4)), std::invalid_argument);
+}
+
+TEST(HardimanKatzirTest, ClusteringCoefficientConverges) {
+  Rng rng(53);
+  const Graph g = LargestConnectedComponent(HolmeKim(400, 4, 0.6, rng));
+  const double exact = GlobalClusteringCoefficient(g);
+  HardimanKatzir hk(g);
+  double mean = 0.0;
+  const int chains = 6;
+  for (int c = 0; c < chains; ++c) {
+    hk.Reset(900 + c);
+    hk.Run(120000);
+    mean += hk.ClusteringCoefficient() / chains;
+  }
+  EXPECT_NEAR(mean, exact, 0.02);
+}
+
+TEST(HardimanKatzirTest, ConcentrationsMatchExact) {
+  Rng rng(54);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 5, 0.5, rng));
+  const auto truth = ExactConcentrations(g, 3);
+  HardimanKatzir hk(g);
+  std::vector<double> mean(2, 0.0);
+  const int chains = 6;
+  for (int c = 0; c < chains; ++c) {
+    hk.Reset(300 + c);
+    hk.Run(100000);
+    const auto est = hk.Concentrations();
+    for (size_t i = 0; i < est.size(); ++i) mean[i] += est[i] / chains;
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(mean[i], truth[i], 0.02) << "i=" << i;
+  }
+}
+
+TEST(HardimanKatzirTest, ExactOnCompleteGraph) {
+  // On K_n every wedge is closed: clustering = 1, c32 = 1.
+  const Graph k8 = Complete(8);
+  HardimanKatzir hk(k8);
+  hk.Reset(5);
+  hk.Run(5000);
+  // phi = 0 whenever the walk backtracks (prev == next), so the ratio
+  // estimator carries finite-sample noise even on K_n.
+  EXPECT_NEAR(hk.ClusteringCoefficient(), 1.0, 0.01);
+  const auto conc = hk.Concentrations();
+  const GraphletCatalog& c3 = GraphletCatalog::ForSize(3);
+  EXPECT_NEAR(conc[c3.IdByName("triangle")], 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace grw

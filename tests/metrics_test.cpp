@@ -1,0 +1,66 @@
+// Tests for descriptive graph metrics.
+
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/triangle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(MetricsTest, DegreeStatsOnStar) {
+  const Graph g = Star(11);  // hub degree 10, leaves degree 1
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_NEAR(stats.mean, 20.0 / 11.0, 1e-12);
+  EXPECT_EQ(stats.p50, 1u);
+}
+
+TEST(MetricsTest, DegreeHistogramSumsToN) {
+  Rng rng(2);
+  const Graph g = BarabasiAlbert(500, 3, rng);
+  const auto histogram = DegreeHistogram(g);
+  uint64_t total = 0;
+  uint64_t weighted = 0;
+  for (size_t d = 0; d < histogram.size(); ++d) {
+    total += histogram[d];
+    weighted += d * histogram[d];
+  }
+  EXPECT_EQ(total, g.NumNodes());
+  EXPECT_EQ(weighted, 2 * g.NumEdges());
+}
+
+TEST(MetricsTest, AssortativityRegularGraphIsDegenerate) {
+  EXPECT_TRUE(std::isnan(DegreeAssortativity(Cycle(10))));
+}
+
+TEST(MetricsTest, AssortativityStarIsNegative) {
+  // Stars are maximally disassortative: r = -1.
+  EXPECT_NEAR(DegreeAssortativity(Star(10)), -1.0, 1e-9);
+}
+
+TEST(MetricsTest, LocalClusteringCompleteGraph) {
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Complete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Star(6)), 0.0);
+}
+
+TEST(MetricsTest, LocalVsGlobalClusteringDiffer) {
+  // A graph where hubs are open but small nodes are closed separates the
+  // two definitions: lollipop (clique + path tail).
+  const Graph g = Lollipop(5, 5);
+  const double local = AverageLocalClustering(g);
+  const double global = GlobalClusteringCoefficient(g);
+  EXPECT_GT(local, 0.0);
+  EXPECT_GT(global, 0.0);
+  EXPECT_NE(local, global);
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,84 @@
+// Tests for joint multi-size estimation from one walk.
+
+#include "core/multi_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "exact/exact.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(MultiSizeTest, JointEstimatesConvergeForAllSizes) {
+  Rng rng(5);
+  const Graph g = LargestConnectedComponent(HolmeKim(250, 4, 0.6, rng));
+  MultiSizeEstimator estimator(g, /*d=*/2, {3, 4, 5}, /*css=*/true);
+  std::vector<std::vector<double>> mean(6);
+  const int chains = 6;
+  for (int k = 3; k <= 5; ++k) {
+    mean[k].assign(GraphletCatalog::ForSize(k).NumTypes(), 0.0);
+  }
+  for (int c = 0; c < chains; ++c) {
+    estimator.Reset(50 + c);
+    estimator.Run(80000);
+    for (int k = 3; k <= 5; ++k) {
+      const auto result = estimator.Result(k);
+      for (size_t i = 0; i < result.concentrations.size(); ++i) {
+        mean[k][i] += result.concentrations[i] / chains;
+      }
+    }
+  }
+  for (int k = 3; k <= 5; ++k) {
+    const auto truth = ExactConcentrations(g, k);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_NEAR(mean[k][i], truth[i], 0.04) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(MultiSizeTest, SingleSizeMatchesDedicatedEstimatorStatistically) {
+  // The shared-walk estimator with one size is the same algorithm as
+  // GraphletEstimator; check they agree to sampling noise on a long run.
+  Rng rng(7);
+  const Graph g = LargestConnectedComponent(HolmeKim(150, 4, 0.5, rng));
+  MultiSizeEstimator joint(g, 2, {4});
+  joint.Reset(3);
+  joint.Run(120000);
+  const auto a = joint.Result(4);
+
+  const auto b = GraphletEstimator::Estimate(
+      g, EstimatorConfig{4, 2, false, false}, 120000, 3);
+  for (size_t i = 0; i < a.concentrations.size(); ++i) {
+    EXPECT_NEAR(a.concentrations[i], b.concentrations[i], 0.02) << i;
+  }
+}
+
+TEST(MultiSizeTest, StepAccountingIsShared) {
+  const Graph g = KarateClub();
+  MultiSizeEstimator estimator(g, 1, {3, 4});
+  estimator.Reset(1);
+  estimator.Run(5000);
+  EXPECT_EQ(estimator.Steps(), 5000u);
+  EXPECT_EQ(estimator.Result(3).steps, 5000u);
+  EXPECT_EQ(estimator.Result(4).steps, 5000u);
+  EXPECT_GT(estimator.Result(3).valid_samples, 0u);
+  EXPECT_GT(estimator.Result(4).valid_samples, 0u);
+}
+
+TEST(MultiSizeTest, ValidatesConfiguration) {
+  const Graph g = KarateClub();
+  EXPECT_THROW(MultiSizeEstimator(g, 2, {}), std::invalid_argument);
+  EXPECT_THROW(MultiSizeEstimator(g, 2, {2}), std::invalid_argument);
+  EXPECT_THROW(MultiSizeEstimator(g, 2, {7}), std::invalid_argument);
+  EXPECT_THROW(MultiSizeEstimator(g, 3, {4, 5}, /*css=*/true),
+               std::invalid_argument);
+  MultiSizeEstimator ok(g, 2, {3, 4});
+  EXPECT_THROW(ok.Result(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grw

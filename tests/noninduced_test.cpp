@@ -1,0 +1,85 @@
+// Tests for the embedding (non-induced/induced) machinery.
+
+#include "graphlet/noninduced.h"
+
+#include <gtest/gtest.h>
+
+#include "graphlet/catalog.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+int Id(int k, const char* name) {
+  return GraphletCatalog::ForSize(k).IdByName(name);
+}
+
+TEST(NonInducedTest, AutomorphismCountsOfNamedGraphlets) {
+  EXPECT_EQ(AutomorphismCount(3, Id(3, "wedge")), 2);
+  EXPECT_EQ(AutomorphismCount(3, Id(3, "triangle")), 6);
+  EXPECT_EQ(AutomorphismCount(4, Id(4, "4-path")), 2);
+  EXPECT_EQ(AutomorphismCount(4, Id(4, "3-star")), 6);
+  EXPECT_EQ(AutomorphismCount(4, Id(4, "4-cycle")), 8);
+  EXPECT_EQ(AutomorphismCount(4, Id(4, "tailed-triangle")), 2);
+  EXPECT_EQ(AutomorphismCount(4, Id(4, "chordal-cycle")), 4);
+  EXPECT_EQ(AutomorphismCount(4, Id(4, "4-clique")), 24);
+}
+
+TEST(NonInducedTest, PathEmbeddingsAreThePathSamplingBetas) {
+  // Spanning 3-paths per 4-node graphlet (Jha et al. constants): path 1,
+  // star 0, cycle 4, tailed-triangle 2, chordal-cycle 6, clique 12.
+  const int path = Id(4, "4-path");
+  EXPECT_EQ(EmbeddingCount(4, path, Id(4, "4-path")), 1);
+  EXPECT_EQ(EmbeddingCount(4, path, Id(4, "3-star")), 0);
+  EXPECT_EQ(EmbeddingCount(4, path, Id(4, "4-cycle")), 4);
+  EXPECT_EQ(EmbeddingCount(4, path, Id(4, "tailed-triangle")), 2);
+  EXPECT_EQ(EmbeddingCount(4, path, Id(4, "chordal-cycle")), 6);
+  EXPECT_EQ(EmbeddingCount(4, path, Id(4, "4-clique")), 12);
+}
+
+TEST(NonInducedTest, StarEmbeddings) {
+  const int star = Id(4, "3-star");
+  EXPECT_EQ(EmbeddingCount(4, star, Id(4, "3-star")), 1);
+  EXPECT_EQ(EmbeddingCount(4, star, Id(4, "4-cycle")), 0);
+  EXPECT_EQ(EmbeddingCount(4, star, Id(4, "tailed-triangle")), 1);
+  EXPECT_EQ(EmbeddingCount(4, star, Id(4, "chordal-cycle")), 2);
+  EXPECT_EQ(EmbeddingCount(4, star, Id(4, "4-clique")), 4);
+}
+
+TEST(NonInducedTest, MatrixIsUnitriangularInCatalogOrder) {
+  for (int k = 3; k <= 5; ++k) {
+    const auto b = EmbeddingMatrix(k);
+    const int n = static_cast<int>(b.size());
+    for (int h = 0; h < n; ++h) {
+      EXPECT_EQ(b[h][h], 1) << "k=" << k << " h=" << h;
+      for (int g = 0; g < h; ++g) {
+        EXPECT_EQ(b[h][g], 0)
+            << "denser pattern cannot embed in sparser one";
+      }
+    }
+  }
+}
+
+TEST(NonInducedTest, RoundTripInducedNonInduced) {
+  Rng rng(3);
+  for (int k = 3; k <= 5; ++k) {
+    const int n = GraphletCatalog::ForSize(k).NumTypes();
+    std::vector<double> induced(n);
+    for (int i = 0; i < n; ++i) {
+      induced[i] = static_cast<double>(rng.UniformInt(1000));
+    }
+    const auto non_induced = NonInducedFromInduced(k, induced);
+    const auto back = InducedFromNonInduced(k, non_induced);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i], induced[i], 1e-6) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(NonInducedTest, WedgesInTriangle) {
+  // A triangle contains 3 spanning wedges.
+  EXPECT_EQ(EmbeddingCount(3, Id(3, "wedge"), Id(3, "triangle")), 3);
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,106 @@
+// Tests for graphlet orbits and graphlet degree vectors.
+
+#include "graphlet/orbits.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "exact/esu.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graphlet/catalog.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(OrbitsTest, ClassicOrbitCounts) {
+  // The standard graphlet-orbit counts: 1 (k=2), 3 (k=3), 11 (k=4),
+  // 58 (k=5) — totalling the classic 73 orbits of 2..5-node graphlets.
+  EXPECT_EQ(OrbitCatalog::ForSize(2).NumOrbits(), 1);
+  EXPECT_EQ(OrbitCatalog::ForSize(3).NumOrbits(), 3);
+  EXPECT_EQ(OrbitCatalog::ForSize(4).NumOrbits(), 11);
+  EXPECT_EQ(OrbitCatalog::ForSize(5).NumOrbits(), 58);
+}
+
+TEST(OrbitsTest, WedgeHasEndAndCenterOrbits) {
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(3);
+  const OrbitCatalog& orbits = OrbitCatalog::ForSize(3);
+  const int wedge = catalog.IdByName("wedge");
+  const int triangle = catalog.IdByName("triangle");
+  EXPECT_EQ(orbits.OrbitsInGraphlet(wedge), 2);
+  EXPECT_EQ(orbits.OrbitsInGraphlet(triangle), 1);
+  // In the wedge, the degree-2 vertex is alone in its orbit.
+  const Graphlet& g = catalog.Get(wedge);
+  int center = -1;
+  for (int v = 0; v < 3; ++v) {
+    if (g.degree[v] == 2) center = v;
+  }
+  ASSERT_GE(center, 0);
+  for (int v = 0; v < 3; ++v) {
+    if (v == center) continue;
+    EXPECT_NE(orbits.OrbitOf(wedge, v), orbits.OrbitOf(wedge, center));
+  }
+}
+
+TEST(OrbitsTest, OrbitMatesShareDegree) {
+  // Vertices in one orbit are automorphism images: equal degrees.
+  for (int k = 3; k <= 5; ++k) {
+    const GraphletCatalog& catalog = GraphletCatalog::ForSize(k);
+    const OrbitCatalog& orbits = OrbitCatalog::ForSize(k);
+    for (int type = 0; type < catalog.NumTypes(); ++type) {
+      const Graphlet& g = catalog.Get(type);
+      for (int a = 0; a < k; ++a) {
+        for (int b = a + 1; b < k; ++b) {
+          if (orbits.OrbitOf(type, a) == orbits.OrbitOf(type, b)) {
+            EXPECT_EQ(g.degree[a], g.degree[b])
+                << "k=" << k << " type=" << type;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OrbitsTest, GdvOnStarCenterAndLeaf) {
+  // Star S5 (center 0, leaves 1..5), k = 3: subgraphs are the C(5,2)=10
+  // wedges through the center. The center occupies the wedge-center
+  // orbit every time; each leaf sits in 4 wedges as an end.
+  const Graph g = Star(6);
+  const OrbitCatalog& orbits = OrbitCatalog::ForSize(3);
+  const GraphletCatalog& catalog = GraphletCatalog::ForSize(3);
+  const int wedge = catalog.IdByName("wedge");
+  const Graphlet& w = catalog.Get(wedge);
+  int center_orbit = -1;
+  int end_orbit = -1;
+  for (int v = 0; v < 3; ++v) {
+    (w.degree[v] == 2 ? center_orbit : end_orbit) =
+        orbits.OrbitOf(wedge, v);
+  }
+  const auto center_gdv = GraphletDegreeVector(g, 0, 3);
+  EXPECT_EQ(center_gdv[center_orbit], 10);
+  EXPECT_EQ(center_gdv[end_orbit], 0);
+  const auto leaf_gdv = GraphletDegreeVector(g, 3, 3);
+  EXPECT_EQ(leaf_gdv[center_orbit], 0);
+  EXPECT_EQ(leaf_gdv[end_orbit], 4);
+}
+
+TEST(OrbitsTest, GdvTotalsMatchSubgraphMembership) {
+  // Summing a node's GDV over all orbits counts the k-subgraphs
+  // containing it; summing over all nodes counts each subgraph k times.
+  Rng rng(9);
+  const Graph g = LargestConnectedComponent(ErdosRenyi(40, 120, rng));
+  const int k = 4;
+  int64_t total = 0;
+  for (VertexId v = 0; v < g.NumNodes(); ++v) {
+    const auto gdv = GraphletDegreeVector(g, v, k);
+    total += std::accumulate(gdv.begin(), gdv.end(), int64_t{0});
+  }
+  int64_t subgraphs = 0;
+  for (int64_t c : CountGraphletsEsu(g, k)) subgraphs += c;
+  EXPECT_EQ(total, k * subgraphs);
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,158 @@
+// Tests for the incremental sample window (paper Section 5).
+
+#include "core/sample_window.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "walk/edge_walk.h"
+#include "walk/node_walk.h"
+
+namespace grw {
+namespace {
+
+TEST(SampleWindowTest, NodeWalkWindowTracksUnionAndValidity) {
+  // Path 0-1-2-3: window of 3 single-node states.
+  const Graph g = Path(4);
+  SampleWindow window(g, /*k=*/3, /*l=*/3);
+  const std::array<VertexId, 1> s0 = {0};
+  const std::array<VertexId, 1> s1 = {1};
+  const std::array<VertexId, 1> s2 = {2};
+  window.Push(s0, 1);
+  EXPECT_FALSE(window.Full());
+  window.Push(s1, 2);
+  window.Push(s2, 2);
+  EXPECT_TRUE(window.Full());
+  ASSERT_TRUE(window.Valid());
+  // Union order = first appearance; mask = path 0-1-2 (edges (0,1),(1,2)).
+  const auto nodes = window.UnionNodes();
+  EXPECT_EQ(nodes[0], 0u);
+  EXPECT_EQ(nodes[1], 1u);
+  EXPECT_EQ(nodes[2], 2u);
+  EXPECT_EQ(window.Mask(), MaskFromEdges(3, {{0, 1}, {1, 2}}));
+  EXPECT_EQ(window.Mask(), window.MaskNaive());
+}
+
+TEST(SampleWindowTest, BacktrackingWindowIsInvalid) {
+  // Walk 0 -> 1 -> 0 covers only 2 distinct nodes ("invalid sample",
+  // paper Figure 3).
+  const Graph g = Path(4);
+  SampleWindow window(g, 3, 3);
+  const std::array<VertexId, 1> a = {0};
+  const std::array<VertexId, 1> b = {1};
+  window.Push(a, 1);
+  window.Push(b, 2);
+  window.Push(a, 1);
+  EXPECT_TRUE(window.Full());
+  EXPECT_FALSE(window.Valid());
+}
+
+TEST(SampleWindowTest, SlidingEvictsAndRevalidates) {
+  const Graph g = Path(5);
+  SampleWindow window(g, 3, 3);
+  const std::array<VertexId, 1> n0 = {0};
+  const std::array<VertexId, 1> n1 = {1};
+  const std::array<VertexId, 1> n2 = {2};
+  const std::array<VertexId, 1> n3 = {3};
+  window.Push(n0, 1);
+  window.Push(n1, 2);
+  window.Push(n0, 1);  // backtrack: invalid
+  EXPECT_FALSE(window.Valid());
+  window.Push(n1, 2);  // window now 0,1... wait: states 0,1,0 -> 1,0,1
+  EXPECT_FALSE(window.Valid());
+  window.Push(n2, 2);  // 0,1,2
+  EXPECT_TRUE(window.Valid());
+  window.Push(n3, 2);  // 1,2,3
+  ASSERT_TRUE(window.Valid());
+  const auto nodes = window.UnionNodes();
+  EXPECT_EQ(nodes[0], 1u);
+  EXPECT_EQ(nodes[1], 2u);
+  EXPECT_EQ(nodes[2], 3u);
+}
+
+TEST(SampleWindowTest, StateDegreesAreRetrievable) {
+  const Graph g = Path(5);
+  SampleWindow window(g, 3, 3);
+  const std::array<VertexId, 1> n0 = {0};
+  const std::array<VertexId, 1> n1 = {1};
+  const std::array<VertexId, 1> n2 = {2};
+  window.Push(n0, 0);
+  window.SetNewestDegree(1);
+  window.Push(n1, 0);
+  window.SetNewestDegree(2);
+  window.Push(n2, 0);
+  window.SetNewestDegree(2);
+  EXPECT_EQ(window.State(0).degree, 1u);
+  EXPECT_EQ(window.State(1).degree, 2u);
+  EXPECT_EQ(window.State(2).degree, 2u);
+}
+
+TEST(SampleWindowTest, EdgeStatesShareNodesCorrectly) {
+  // Triangle 0-1-2 plus pendant 3 on node 2; edge-walk window (k=4, l=3).
+  const Graph g = FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  SampleWindow window(g, 4, 3);
+  const std::array<VertexId, 2> e01 = {0, 1};
+  const std::array<VertexId, 2> e12 = {1, 2};
+  const std::array<VertexId, 2> e23 = {2, 3};
+  window.Push(e01, 0);
+  window.Push(e12, 0);
+  window.Push(e23, 0);
+  ASSERT_TRUE(window.Valid());
+  // Union in first-appearance order: 0,1,2,3. Induced = tailed triangle.
+  EXPECT_EQ(window.Mask(),
+            MaskFromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}));
+  EXPECT_EQ(window.Mask(), window.MaskNaive());
+}
+
+TEST(SampleWindowTest, IncrementalMatchesNaiveUnderRandomWalks) {
+  // Property sweep: run real walks and assert the incremental adjacency
+  // equals the naive recomputation at every valid window.
+  Rng rng(123);
+  const Graph g = LargestConnectedComponent(HolmeKim(200, 4, 0.5, rng));
+  {
+    NodeWalk walk(g);
+    walk.Reset(rng);
+    SampleWindow window(g, 4, 4);
+    for (int s = 0; s < 20000; ++s) {
+      walk.Step(rng);
+      window.Push(walk.Nodes(), 0);
+      if (window.Valid()) {
+        EXPECT_EQ(window.Mask(), window.MaskNaive());
+      }
+    }
+  }
+  {
+    EdgeWalk walk(g);
+    walk.Reset(rng);
+    SampleWindow window(g, 5, 4);
+    for (int s = 0; s < 20000; ++s) {
+      walk.Step(rng);
+      window.Push(walk.Nodes(), 0);
+      if (window.Valid()) {
+        EXPECT_EQ(window.Mask(), window.MaskNaive());
+      }
+    }
+  }
+}
+
+TEST(SampleWindowTest, ClearResetsEverything) {
+  const Graph g = Path(5);
+  SampleWindow window(g, 3, 3);
+  const std::array<VertexId, 1> n0 = {0};
+  const std::array<VertexId, 1> n1 = {1};
+  const std::array<VertexId, 1> n2 = {2};
+  window.Push(n0, 1);
+  window.Push(n1, 2);
+  window.Push(n2, 2);
+  EXPECT_TRUE(window.Valid());
+  window.Clear();
+  EXPECT_FALSE(window.Full());
+  EXPECT_EQ(window.UnionNodes().size(), 0u);
+}
+
+}  // namespace
+}  // namespace grw
