@@ -14,9 +14,9 @@
 #include "baselines/hardiman_katzir.h"
 #include "bench_common.h"
 #include "core/estimator.h"
+#include "engine/chain_pool.h"
 #include "eval/experiment.h"
 #include "graphlet/catalog.h"
-#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
       guise4[0] = probe.Concentrations(4);
       reject_sum += probe.RejectionRate();
     }
-    grw::ParallelFor(sims - 1, [&](size_t i) {
+    grw::ChainPool::Shared().ForEach(sims - 1, [&](size_t i) {
       grw::Guise estimator(bg.graph);
       estimator.Reset(grw::DeriveSeed(0xab4, i + 1));
       estimator.Run(steps);

@@ -12,9 +12,9 @@
 #include "baselines/wedge_mhrw.h"
 #include "bench_common.h"
 #include "core/estimator.h"
+#include "engine/chain_pool.h"
 #include "eval/experiment.h"
 #include "graphlet/catalog.h"
-#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -66,10 +66,11 @@ int main(int argc, char** argv) {
     conv.SetHeader({"Steps", "SRW1CSSNB", "Wedge-MHRW"});
     const auto rw_curve = grw::ConvergenceNrmse(g, method, grid, sims,
                                                 0xf8b, truth, triangle);
-    // MHRW convergence: advance shared chains through the grid.
+    // MHRW convergence: advance shared chains through the grid on the
+    // engine's persistent pool.
     std::vector<std::vector<double>> mhrw_est(
         grid.size(), std::vector<double>(sims, 0.0));
-    grw::ParallelFor(sims, [&](size_t chain) {
+    grw::ChainPool::Shared().ForEach(sims, [&](size_t chain) {
       grw::WedgeMhrw mhrw(g);
       mhrw.Reset(grw::DeriveSeed(0xadf8b, chain));
       uint64_t done = 0;

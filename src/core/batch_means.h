@@ -18,8 +18,51 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "util/stats.h"
 
 namespace grw {
+
+/// Online batch-means accumulator: feed one concentration vector per
+/// batch (a contiguous chain segment, or a whole independent chain — any
+/// asymptotically independent replicate), read back standard errors of
+/// the across-batch mean. This is the convergence monitor behind the
+/// estimation engine's early stopping (engine/engine.h): the engine
+/// treats every (chain, round) segment as a batch and stops when the
+/// relative standard error of every non-negligible concentration is
+/// below the target.
+/// Within-batch concentration vector from cumulative weight snapshots:
+/// batch_i = (now_i - prev_i) / sum_j (now_j - prev_j), all zero when no
+/// weight accrued in the batch. `prev` entries beyond its length count
+/// as zero (first batch), and `prev` is updated to `now`. This is THE
+/// batching rule — shared by EstimateWithErrorBars and the engine's
+/// round loop so the two cannot drift.
+std::vector<double> BatchFromCumulativeWeights(
+    const std::vector<double>& now, std::vector<double>& prev);
+
+class BatchMeansAccumulator {
+ public:
+  /// Registers one batch. Every batch must have the same length
+  /// (throws std::invalid_argument otherwise).
+  void AddBatch(const std::vector<double>& concentrations);
+
+  int NumBatches() const { return batches_; }
+  size_t NumTypes() const { return stats_.size(); }
+
+  /// Batch-means standard error per type: sample stddev of the per-batch
+  /// values divided by sqrt(B). Zero until two batches were added.
+  std::vector<double> StandardErrors() const;
+
+  /// Largest relative standard error SE_i / c_i over types whose mean
+  /// concentration is at least `min_concentration` (rarer types carry
+  /// too little signal to gate on). Infinity until two batches; NaN when
+  /// no type clears the floor.
+  double MaxRelativeError(const std::vector<double>& concentrations,
+                          double min_concentration) const;
+
+ private:
+  std::vector<RunningStat> stats_;  // per type, across batches
+  int batches_ = 0;
+};
 
 /// Concentration estimates with batch-means standard errors.
 struct BatchedEstimate {

@@ -139,15 +139,57 @@ EstimateResult GraphletEstimator::Result() const {
   result.samples = samples_;
   result.steps = steps_;
   result.valid_samples = valid_samples_;
-  result.concentrations.assign(num_types_, 0.0);
+  FinalizeConcentrations(result);
+  return result;
+}
+
+void FinalizeConcentrations(EstimateResult& result) {
+  result.concentrations.assign(result.weights.size(), 0.0);
   double total = 0.0;
-  for (double w : weights_) total += w;
+  for (double w : result.weights) total += w;
   if (total > 0.0) {
-    for (int i = 0; i < num_types_; ++i) {
-      result.concentrations[i] = weights_[i] / total;
+    for (size_t i = 0; i < result.weights.size(); ++i) {
+      result.concentrations[i] = result.weights[i] / total;
     }
   }
-  return result;
+}
+
+void MergeInto(EstimateResult& into, const EstimateResult& from) {
+  if (into.weights.empty() && into.steps == 0) {
+    into = from;
+    FinalizeConcentrations(into);
+    return;
+  }
+  if (into.weights.size() != from.weights.size() ||
+      into.samples.size() != from.samples.size()) {
+    throw std::invalid_argument(
+        "MergeInto: results disagree on the number of graphlet types");
+  }
+  for (size_t i = 0; i < into.weights.size(); ++i) {
+    into.weights[i] += from.weights[i];
+    into.samples[i] += from.samples[i];
+  }
+  into.steps += from.steps;
+  into.valid_samples += from.valid_samples;
+  FinalizeConcentrations(into);
+}
+
+EstimateResult MergeResults(const std::vector<EstimateResult>& parts) {
+  EstimateResult merged;
+  for (const EstimateResult& part : parts) MergeInto(merged, part);
+  return merged;
+}
+
+std::vector<double> CountEstimatesFromResult(const EstimateResult& result,
+                                             uint64_t relationship_edges) {
+  std::vector<double> counts(result.weights.size(), 0.0);
+  if (result.steps == 0) return counts;
+  const double scale = 2.0 * static_cast<double>(relationship_edges) /
+                       static_cast<double>(result.steps);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = result.weights[i] * scale;
+  }
+  return counts;
 }
 
 std::vector<double> GraphletEstimator::CountEstimates() const {
@@ -161,12 +203,10 @@ std::vector<double> GraphletEstimator::CountEstimates() const {
 
 std::vector<double> GraphletEstimator::CountEstimates(
     uint64_t relationship_edges) const {
-  std::vector<double> counts(num_types_, 0.0);
-  if (steps_ == 0) return counts;
-  const double scale = 2.0 * static_cast<double>(relationship_edges) /
-                       static_cast<double>(steps_);
-  for (int i = 0; i < num_types_; ++i) counts[i] = weights_[i] * scale;
-  return counts;
+  EstimateResult snapshot;
+  snapshot.weights = weights_;
+  snapshot.steps = steps_;
+  return CountEstimatesFromResult(snapshot, relationship_edges);
 }
 
 EstimateResult GraphletEstimator::Estimate(const Graph& g,

@@ -53,7 +53,9 @@ struct EstimatorConfig {
   std::string Name() const;
 };
 
-/// Accumulated estimates of one chain.
+/// Accumulated estimates of one chain — or, after MergeInto, of several
+/// chains combined (the raw accumulators are additive across independent
+/// chains, so merged results behave exactly like one longer chain).
 struct EstimateResult {
   /// c^k_i per catalog id; sums to 1 when any valid sample was seen.
   std::vector<double> concentrations;
@@ -61,11 +63,32 @@ struct EstimateResult {
   std::vector<double> weights;
   /// Number of valid samples classified per type.
   std::vector<uint64_t> samples;
-  /// Transitions performed (the paper's sample budget n).
+  /// Transitions performed (the paper's sample budget n); summed across
+  /// chains after a merge.
   uint64_t steps = 0;
   /// Windows covering exactly k distinct vertices.
   uint64_t valid_samples = 0;
 };
+
+/// Recomputes `result.concentrations` from `result.weights`
+/// (c_i = W_i / sum_j W_j; all zero when no weight was accumulated).
+void FinalizeConcentrations(EstimateResult& result);
+
+/// Accumulates `from` into `into`: weights, samples, steps and valid
+/// counts add; concentrations are recomputed from the merged weights.
+/// An empty `into` (default-constructed) adopts `from` wholesale.
+/// Chains may differ in step counts; they must agree on the number of
+/// graphlet types (throws std::invalid_argument otherwise).
+void MergeInto(EstimateResult& into, const EstimateResult& from);
+
+/// Merges a set of per-chain results into one combined result.
+EstimateResult MergeResults(const std::vector<EstimateResult>& parts);
+
+/// Count estimates C^k_i (Eq. 4) from accumulated weights:
+/// C_i = W_i * 2|R(d)| / steps. Works on merged results too (weights and
+/// steps are summed consistently). All zero when steps == 0.
+std::vector<double> CountEstimatesFromResult(const EstimateResult& result,
+                                             uint64_t relationship_edges);
 
 /// Random-walk graphlet concentration/count estimator.
 class GraphletEstimator {

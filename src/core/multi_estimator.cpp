@@ -122,14 +122,7 @@ EstimateResult MultiSizeEstimator::Result(int k) const {
     result.samples = size.samples;
     result.steps = steps_;
     result.valid_samples = size.valid;
-    result.concentrations.assign(size.weights.size(), 0.0);
-    double total = 0.0;
-    for (double w : size.weights) total += w;
-    if (total > 0.0) {
-      for (size_t i = 0; i < size.weights.size(); ++i) {
-        result.concentrations[i] = size.weights[i] / total;
-      }
-    }
+    FinalizeConcentrations(result);
     return result;
   }
   throw std::invalid_argument("MultiSizeEstimator: size not registered");

@@ -1,0 +1,141 @@
+#include "engine/chain_pool.h"
+
+#include "util/parallel.h"  // HardwareThreads
+
+namespace grw {
+
+ChainPool::ChainPool(unsigned threads) {
+  if (threads == 0) threads = HardwareThreads();
+  workers_.reserve(threads - 1);
+  for (unsigned t = 0; t + 1 < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ChainPool::~ChainPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ChainPool& ChainPool::Shared() {
+  static ChainPool pool;
+  return pool;
+}
+
+namespace {
+// The pool whose job the current thread is executing, if any: lets a
+// re-entrant ForEach on the same pool fall back to inline execution
+// instead of deadlocking on the in-flight job. RAII so an escaping
+// exception (possible on the serial path, which does not catch) still
+// restores the outer value.
+thread_local const ChainPool* g_draining_pool = nullptr;
+
+class DrainScope {
+ public:
+  explicit DrainScope(const ChainPool* pool) : saved_(g_draining_pool) {
+    g_draining_pool = pool;
+  }
+  ~DrainScope() { g_draining_pool = saved_; }
+  DrainScope(const DrainScope&) = delete;
+  DrainScope& operator=(const DrainScope&) = delete;
+
+ private:
+  const ChainPool* saved_;
+};
+
+}  // namespace
+
+void ChainPool::DrainIndices(void (*invoke)(void*, size_t), void* ctx,
+                            size_t n) {
+  const DrainScope scope(this);
+  for (size_t i = next_index_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_index_.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      invoke(ctx, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+      // Keep claiming: remaining indices must be consumed so the job ends.
+    }
+  }
+}
+
+void ChainPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    void (*invoke)(void*, size_t) = nullptr;
+    void* ctx = nullptr;
+    size_t n = 0;
+    bool participate = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return shutdown_ || job_id_ > seen; });
+      if (shutdown_) return;
+      // The submitter waits for every worker before posting the next job,
+      // so jobs are observed strictly in order and these fields are stable
+      // until this worker reports finished.
+      seen = job_id_;
+      if (job_slots_ > 0) {
+        --job_slots_;
+        participate = true;
+        invoke = job_invoke_;
+        ctx = job_ctx_;
+        n = job_n_;
+      }
+    }
+    if (participate) DrainIndices(invoke, ctx, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++finished_workers_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void ChainPool::RunJob(size_t n, void (*invoke)(void*, size_t), void* ctx,
+                       unsigned max_threads) {
+  if (n == 0) return;
+  if (g_draining_pool == this) {
+    // Re-entrant ForEach from inside one of this pool's bodies: the
+    // outer job holds submit_mu_ and is waiting on this thread, so run
+    // the nested job inline instead of deadlocking.
+    for (size_t i = 0; i < n; ++i) invoke(ctx, i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  if (max_threads == 0) max_threads = NumThreads();
+  if (workers_.empty() || max_threads <= 1 || n == 1) {
+    // Serial fallback still holds submit_mu_, so mark this thread as
+    // draining: a nested ForEach must take the inline branch above
+    // rather than re-locking submit_mu_ on this thread.
+    const DrainScope scope(this);
+    for (size_t i = 0; i < n; ++i) invoke(ctx, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_invoke_ = invoke;
+    job_ctx_ = ctx;
+    job_n_ = n;
+    job_slots_ = max_threads - 1;  // the submitter takes one slot
+    finished_workers_ = 0;
+    first_exception_ = nullptr;
+    next_index_.store(0, std::memory_order_relaxed);
+    ++job_id_;
+  }
+  job_cv_.notify_all();
+  DrainIndices(invoke, ctx, n);
+  std::exception_ptr rethrow;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return finished_workers_ == workers_.size(); });
+    rethrow = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (rethrow) std::rethrow_exception(rethrow);
+}
+
+}  // namespace grw

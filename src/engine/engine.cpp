@@ -1,0 +1,270 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "core/batch_means.h"
+#include "core/multi_estimator.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace grw {
+
+namespace {
+
+// A chain the engine can drive: one RNG stream producing one or more
+// EstimateResult streams (GraphletEstimator has one; MultiSizeEstimator
+// has one per registered size).
+class EngineChain {
+ public:
+  virtual ~EngineChain() = default;
+  virtual void Reset(uint64_t seed) = 0;
+  virtual void Run(uint64_t steps) = 0;
+  virtual void Snapshot(std::vector<EstimateResult>* out) const = 0;
+};
+
+class SingleSizeChain final : public EngineChain {
+ public:
+  SingleSizeChain(const Graph& g, const EstimatorConfig& config)
+      : estimator_(g, config) {}
+  void Reset(uint64_t seed) override { estimator_.Reset(seed); }
+  void Run(uint64_t steps) override { estimator_.Run(steps); }
+  void Snapshot(std::vector<EstimateResult>* out) const override {
+    out->assign(1, estimator_.Result());
+  }
+
+ private:
+  GraphletEstimator estimator_;
+};
+
+class MultiSizeChain final : public EngineChain {
+ public:
+  MultiSizeChain(const Graph& g, int d, const std::vector<int>& sizes,
+                 bool css, bool nb)
+      : estimator_(g, d, sizes, css, nb) {}
+  void Reset(uint64_t seed) override { estimator_.Reset(seed); }
+  void Run(uint64_t steps) override { estimator_.Run(steps); }
+  void Snapshot(std::vector<EstimateResult>* out) const override {
+    out->clear();
+    out->reserve(estimator_.Sizes().size());
+    for (int k : estimator_.Sizes()) out->push_back(estimator_.Result(k));
+  }
+  const std::vector<int>& Sizes() const { return estimator_.Sizes(); }
+
+ private:
+  MultiSizeEstimator estimator_;
+};
+
+// Shared round loop over `streams` result streams per chain.
+struct LoopOutput {
+  std::vector<EstimateResult> merged;                  // per stream
+  std::vector<std::vector<EstimateResult>> per_chain;  // [chain][stream]
+  std::vector<std::vector<double>> standard_errors;    // per stream
+  double max_rel_error = std::numeric_limits<double>::infinity();
+  bool converged = false;
+  int rounds = 0;
+  uint64_t steps_per_chain = 0;
+  double seconds = 0.0;
+  double steps_per_second = 0.0;
+};
+
+// A convergence verdict needs enough batches for the across-batch
+// variance to mean something; with C chains this is reached after
+// ceil(8 / C) rounds.
+constexpr int kMinBatchesForStop = 8;
+
+LoopOutput RunLoop(
+    int streams, const EngineOptions& opt,
+    const std::function<std::unique_ptr<EngineChain>(int)>& make_chain) {
+  if (opt.chains < 0) {
+    throw std::invalid_argument("engine: chains must be >= 0");
+  }
+  LoopOutput out;
+  out.merged.assign(streams, {});
+  out.standard_errors.assign(streams, {});
+  if (opt.chains == 0 || opt.max_steps == 0) return out;
+
+  const int chains = opt.chains;
+  ChainPool& pool = opt.pool != nullptr ? *opt.pool : ChainPool::Shared();
+
+  uint64_t round_steps = opt.round_steps;
+  if (round_steps == 0) {
+    const bool rounds_wanted = opt.target_nrmse > 0.0 || opt.on_progress;
+    round_steps = rounds_wanted ? EngineOptions::DefaultRoundSteps(
+                                      opt.max_steps)
+                                : opt.max_steps;
+  }
+
+  WallTimer timer;
+  std::vector<std::unique_ptr<EngineChain>> chain_objs(chains);
+  pool.ForEach(
+      static_cast<size_t>(chains),
+      [&](size_t c) {
+        chain_objs[c] = make_chain(static_cast<int>(c));
+        chain_objs[c]->Reset(
+            DeriveSeed(opt.base_seed, opt.chain_offset + c));
+      },
+      opt.threads);
+
+  out.per_chain.assign(chains, {});
+  // Previous round's cumulative weights, [chain][stream], for batch diffs.
+  std::vector<std::vector<std::vector<double>>> prev_weights(chains);
+  std::vector<BatchMeansAccumulator> accumulators(streams);
+
+  uint64_t done = 0;
+  while (done < opt.max_steps) {
+    const uint64_t delta = std::min<uint64_t>(round_steps,
+                                              opt.max_steps - done);
+    pool.ForEach(
+        static_cast<size_t>(chains),
+        [&](size_t c) {
+          chain_objs[c]->Run(delta);
+          chain_objs[c]->Snapshot(&out.per_chain[c]);
+        },
+        opt.threads);
+    done += delta;
+    ++out.rounds;
+
+    // Merge in chain order (fixed regardless of completion order).
+    for (int s = 0; s < streams; ++s) out.merged[s] = {};
+    for (int c = 0; c < chains; ++c) {
+      for (int s = 0; s < streams; ++s) {
+        MergeInto(out.merged[s], out.per_chain[c][s]);
+      }
+    }
+
+    // One batch per (chain, stream): the weight accumulated this round,
+    // normalized to a concentration vector.
+    for (int c = 0; c < chains; ++c) {
+      if (prev_weights[c].empty()) prev_weights[c].resize(streams);
+      for (int s = 0; s < streams; ++s) {
+        accumulators[s].AddBatch(BatchFromCumulativeWeights(
+            out.per_chain[c][s].weights, prev_weights[c][s]));
+      }
+    }
+
+    // Convergence metric: worst monitored relative error over streams.
+    double max_rel = -std::numeric_limits<double>::infinity();
+    for (int s = 0; s < streams; ++s) {
+      const double rel = accumulators[s].MaxRelativeError(
+          out.merged[s].concentrations, opt.min_concentration);
+      if (std::isnan(rel)) {
+        max_rel = rel;  // a stream with no weight yet blocks stopping
+        break;
+      }
+      max_rel = std::max(max_rel, rel);
+    }
+    out.max_rel_error = max_rel;
+    out.seconds = timer.Seconds();
+    out.steps_per_chain = done;
+    out.steps_per_second =
+        out.seconds > 0.0
+            ? static_cast<double>(done) * chains / out.seconds
+            : 0.0;
+
+    if (opt.on_progress) {
+      EngineProgress progress;
+      progress.round = out.rounds;
+      progress.chains = chains;
+      progress.steps_per_chain = done;
+      progress.max_steps = opt.max_steps;
+      progress.total_steps = done * chains;
+      progress.seconds = out.seconds;
+      progress.steps_per_second = out.steps_per_second;
+      progress.max_rel_error = max_rel;
+      opt.on_progress(progress);
+    }
+
+    // Stop once the target is met — but never on first-round evidence
+    // alone (initial-state transients are concentrated there) and never
+    // with fewer than kMinBatchesForStop batches.
+    if (opt.target_nrmse > 0.0 && out.rounds >= 2 &&
+        accumulators[0].NumBatches() >= kMinBatchesForStop &&
+        std::isfinite(max_rel) && max_rel <= opt.target_nrmse) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  for (int s = 0; s < streams; ++s) {
+    // Fewer than two batches carry no spread information: leave the
+    // stream's errors empty (unknown) rather than reporting zeros.
+    if (accumulators[s].NumBatches() >= 2) {
+      out.standard_errors[s] = accumulators[s].StandardErrors();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EstimationEngine::EstimationEngine(const Graph& g,
+                                   const EstimatorConfig& config,
+                                   EngineOptions options)
+    : g_(&g), config_(config), options_(std::move(options)) {
+  if (options_.chains < 0) {
+    throw std::invalid_argument("EstimationEngine: chains must be >= 0");
+  }
+  if (options_.chains > 0) {
+    // Validate the estimator configuration eagerly (and warm the
+    // k-indexed singletons) instead of failing inside the pool.
+    const GraphletEstimator probe(g, config_);
+    (void)probe;
+  }
+}
+
+EngineResult EstimationEngine::Run() {
+  const Graph& g = *g_;
+  const EstimatorConfig& config = config_;
+  LoopOutput loop = RunLoop(1, options_, [&](int) {
+    return std::make_unique<SingleSizeChain>(g, config);
+  });
+
+  EngineResult result;
+  result.merged = std::move(loop.merged[0]);
+  result.per_chain.reserve(loop.per_chain.size());
+  for (auto& streams : loop.per_chain) {
+    if (!streams.empty()) result.per_chain.push_back(std::move(streams[0]));
+  }
+  result.standard_errors = std::move(loop.standard_errors[0]);
+  result.max_rel_error = loop.max_rel_error;
+  result.converged = loop.converged;
+  result.rounds = loop.rounds;
+  result.steps_per_chain = loop.steps_per_chain;
+  result.seconds = loop.seconds;
+  result.steps_per_second = loop.steps_per_second;
+  return result;
+}
+
+MultiSizeEngineResult RunMultiSizeEngine(const Graph& g, int d,
+                                         const std::vector<int>& sizes,
+                                         bool css, bool nb,
+                                         const EngineOptions& options) {
+  // Construct one probe to validate configuration and learn the
+  // deduplicated, sorted size list (MultiSizeEstimator normalizes it).
+  MultiSizeEstimator probe(g, d, sizes, css, nb);
+  const std::vector<int> ordered = probe.Sizes();
+
+  LoopOutput loop = RunLoop(
+      static_cast<int>(ordered.size()), options, [&](int) {
+        return std::make_unique<MultiSizeChain>(g, d, ordered, css, nb);
+      });
+
+  MultiSizeEngineResult result;
+  for (size_t s = 0; s < ordered.size(); ++s) {
+    result.merged[ordered[s]] = std::move(loop.merged[s]);
+    result.standard_errors[ordered[s]] = std::move(loop.standard_errors[s]);
+  }
+  result.max_rel_error = loop.max_rel_error;
+  result.converged = loop.converged;
+  result.rounds = loop.rounds;
+  result.steps_per_chain = loop.steps_per_chain;
+  result.seconds = loop.seconds;
+  result.steps_per_second = loop.steps_per_second;
+  return result;
+}
+
+}  // namespace grw

@@ -1,0 +1,152 @@
+// Parallel estimation engine: one owner for multi-chain execution.
+//
+// The paper's promise is crawl-budget efficiency — estimate graphlet
+// concentrations from one random walk instead of full graph access — and
+// the practical question a crawler faces is "how many steps are enough?"
+// (Section 5.2 / Figure 6). The engine answers it operationally: it runs R
+// independent chains on a persistent ChainPool, merges their accumulators
+// after every round (EstimateResult is additive across chains), monitors
+// convergence online with batch means (core/batch_means.h, treating each
+// (chain, round) segment as one batch), and stops as soon as the relative
+// standard error of every non-negligible concentration falls below the
+// target — or at the per-chain step cap, whichever comes first.
+//
+// Determinism contract: chain c's RNG stream is derived from
+// (base_seed, chain_offset + c) alone, rounds advance every chain by the
+// same step counts, and the stopping decision depends only on the merged
+// round snapshots — so results (including where the engine stops) are
+// bit-identical at any thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "engine/chain_pool.h"
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Per-round progress snapshot, delivered on the calling thread.
+struct EngineProgress {
+  int round = 0;
+  int chains = 0;
+  /// Steps every chain has taken so far (chains advance in lockstep).
+  uint64_t steps_per_chain = 0;
+  uint64_t max_steps = 0;
+  /// Steps summed across chains.
+  uint64_t total_steps = 0;
+  double seconds = 0.0;
+  /// Aggregate walk throughput, transitions per second across all chains.
+  double steps_per_second = 0.0;
+  /// Current convergence metric: max over monitored types of
+  /// SE_i / c_i. Infinity before two batches exist; NaN while no type
+  /// has accumulated weight.
+  double max_rel_error = 0.0;
+};
+
+/// Engine configuration shared by all entry points.
+struct EngineOptions {
+  /// Number of independent chains.
+  int chains = 1;
+  /// Concurrency cap; 0 = every thread of the pool.
+  unsigned threads = 0;
+  /// Per-chain step cap (the paper's sample budget n).
+  uint64_t max_steps = 100000;
+  /// Chain c is seeded DeriveSeed(base_seed, chain_offset + c).
+  uint64_t base_seed = 42;
+  uint64_t chain_offset = 0;
+  /// Early-stopping target for the batch-means relative standard error
+  /// (an online stand-in for the NRMSE the figures report). <= 0 runs
+  /// exactly max_steps per chain.
+  double target_nrmse = 0.0;
+  /// Steps per convergence round; 0 picks DefaultRoundSteps(max_steps)
+  /// when early stopping or progress reporting is on, else one round.
+  uint64_t round_steps = 0;
+
+  /// The auto round size: max_steps split into ~32 rounds, at least 256
+  /// steps each. Exposed so callers that pin round_steps (e.g. the CLI,
+  /// to keep batch structure independent of progress reporting) stay in
+  /// sync with the engine's own default.
+  static uint64_t DefaultRoundSteps(uint64_t max_steps) {
+    const uint64_t rounds = max_steps / 32;
+    return rounds < 256 ? 256 : rounds;
+  }
+  /// Types with merged concentration below this floor are not gated on
+  /// (their relative error is dominated by shot noise).
+  double min_concentration = 1e-3;
+  /// Invoked after every round with a progress snapshot.
+  std::function<void(const EngineProgress&)> on_progress;
+  /// Pool to run on; nullptr = ChainPool::Shared().
+  ChainPool* pool = nullptr;
+};
+
+/// Outcome of one engine run.
+struct EngineResult {
+  /// All chains combined (weights/samples/steps summed, concentrations
+  /// recomputed) — the estimate to report. Default-constructed (empty
+  /// vectors) when the run executed nothing (chains or max_steps zero).
+  EstimateResult merged;
+  /// Final per-chain results, in chain order.
+  std::vector<EstimateResult> per_chain;
+  /// Batch-means standard error of each merged concentration; empty
+  /// when the run produced fewer than two batches (single chain, single
+  /// round: no spread information).
+  std::vector<double> standard_errors;
+  /// Final value of the convergence metric (see EngineProgress).
+  double max_rel_error = 0.0;
+  /// True when the target was reached before the step cap.
+  bool converged = false;
+  int rounds = 0;
+  uint64_t steps_per_chain = 0;
+  double seconds = 0.0;
+  double steps_per_second = 0.0;
+};
+
+/// Runs EngineOptions::chains independent GraphletEstimator chains of one
+/// configuration and merges them.
+class EstimationEngine {
+ public:
+  /// Validates eagerly: throws std::invalid_argument on a bad estimator
+  /// configuration or chains < 0.
+  EstimationEngine(const Graph& g, const EstimatorConfig& config,
+                   EngineOptions options);
+
+  /// Executes the chains (round by round when convergence checking or
+  /// progress reporting is enabled) and returns the merged outcome.
+  EngineResult Run();
+
+  const EstimatorConfig& config() const { return config_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const Graph* g_;
+  EstimatorConfig config_;
+  EngineOptions options_;
+};
+
+/// Multi-size outcome: one merged result per registered graphlet size.
+struct MultiSizeEngineResult {
+  std::map<int, EstimateResult> merged;
+  std::map<int, std::vector<double>> standard_errors;
+  double max_rel_error = 0.0;
+  /// True when every size's monitored types reached the target.
+  bool converged = false;
+  int rounds = 0;
+  uint64_t steps_per_chain = 0;
+  double seconds = 0.0;
+  double steps_per_second = 0.0;
+};
+
+/// Engine entry point for MultiSizeEstimator: each chain is ONE shared
+/// walk on G(d) feeding every size in `sizes`; convergence gates on all
+/// sizes at once. Options are honored as in EstimationEngine.
+MultiSizeEngineResult RunMultiSizeEngine(const Graph& g, int d,
+                                         const std::vector<int>& sizes,
+                                         bool css, bool nb,
+                                         const EngineOptions& options);
+
+}  // namespace grw

@@ -1,8 +1,11 @@
 #include "eval/experiment.h"
 
 #include <cmath>
+#include <stdexcept>
 
-#include "util/parallel.h"
+#include "core/rsize.h"
+#include "engine/chain_pool.h"
+#include "engine/engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -16,6 +19,12 @@ ChainEstimates RunChainsImpl(
     uint64_t base_seed, unsigned threads, bool counts) {
   ChainEstimates result;
   result.estimates.assign(sims, {});
+  if (counts && config.d > 2) {
+    throw std::logic_error(
+        "RunCountChains: no closed-form |R(d)| for d >= 3");
+  }
+  const uint64_t relationship_edges =
+      counts ? RelationshipEdgeCount(g, config.d) : 0;
   // Serial-cost probe: one timed chain (thread fan-out would distort the
   // per-chain wall clock the runtime comparisons need).
   {
@@ -24,21 +33,27 @@ ChainEstimates RunChainsImpl(
     probe.Reset(DeriveSeed(base_seed, 0));
     probe.Run(steps);
     result.seconds_per_chain = timer.Seconds();
-    result.estimates[0] = counts ? probe.CountEstimates()
-                                 : probe.Result().concentrations;
+    result.estimates[0] = counts
+                              ? CountEstimatesFromResult(probe.Result(),
+                                                         relationship_edges)
+                              : probe.Result().concentrations;
   }
-  ParallelFor(
-      static_cast<size_t>(sims) - 1,
-      [&](size_t i) {
-        const size_t chain = i + 1;
-        GraphletEstimator estimator(g, config);
-        estimator.Reset(DeriveSeed(base_seed, chain));
-        estimator.Run(steps);
-        result.estimates[chain] = counts
-                                      ? estimator.CountEstimates()
-                                      : estimator.Result().concentrations;
-      },
-      threads);
+  // Remaining chains run on the engine's persistent pool; chain_offset
+  // keeps per-chain seeds identical to the all-serial assignment.
+  EngineOptions options;
+  options.chains = sims - 1;
+  options.chain_offset = 1;
+  options.threads = threads;
+  options.max_steps = steps;
+  options.base_seed = base_seed;
+  EstimationEngine engine(g, config, options);
+  const EngineResult run = engine.Run();
+  for (size_t c = 0; c < run.per_chain.size(); ++c) {
+    result.estimates[c + 1] =
+        counts ? CountEstimatesFromResult(run.per_chain[c],
+                                          relationship_edges)
+               : run.per_chain[c].concentrations;
+  }
   return result;
 }
 
@@ -69,7 +84,7 @@ ChainEstimates RunCustomChains(
     result.estimates[0] = fn(0);
     result.seconds_per_chain = timer.Seconds();
   }
-  ParallelFor(
+  ChainPool::Shared().ForEach(
       static_cast<size_t>(sims) - 1,
       [&](size_t i) { result.estimates[i + 1] = fn(static_cast<int>(i + 1)); },
       threads);
@@ -93,7 +108,7 @@ std::vector<double> ConvergenceNrmse(const Graph& g,
   // estimates[grid_point][chain]
   std::vector<std::vector<double>> estimates(
       step_grid.size(), std::vector<double>(sims, 0.0));
-  ParallelFor(
+  ChainPool::Shared().ForEach(
       static_cast<size_t>(sims),
       [&](size_t chain) {
         GraphletEstimator estimator(g, config);

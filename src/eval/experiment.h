@@ -2,9 +2,9 @@
 //
 // The paper estimates NRMSE over up to 1,000 independent simulations per
 // (method, graph, sample size) point (Section 6.2.1). Chains are
-// independent, so we fan them out across hardware threads with
-// deterministic per-chain seeds — results are reproducible regardless of
-// thread count.
+// independent and run through the estimation engine (engine/engine.h) on
+// its persistent ChainPool, with deterministic per-chain seeds — results
+// are reproducible regardless of thread count.
 
 #pragma once
 

@@ -1,16 +1,21 @@
-// Parallel-for helper for the NRMSE experiment runner.
+// Parallel-for helper for one-shot fan-outs.
 //
 // Experiments run R independent Markov chains (paper: 100-1000 independent
 // simulations per data point); each chain is embarrassingly parallel, so a
 // simple static-chunked thread fan-out is all we need — no work stealing,
-// no shared queues.
+// no shared queues. ParallelFor is a template over the callable so the body
+// is invoked directly (no std::function type erasure or heap allocation on
+// the fan-out path). Long-lived chain execution should prefer the
+// persistent pool in engine/chain_pool.h, which reuses its workers across
+// calls instead of spawning threads per invocation.
 
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace grw {
@@ -24,12 +29,13 @@ inline unsigned HardwareThreads() {
 /// Runs body(i) for i in [0, n) across up to `threads` std::threads.
 /// body must be safe to call concurrently for distinct i.
 /// threads == 0 means HardwareThreads().
-inline void ParallelFor(size_t n, const std::function<void(size_t)>& body,
-                        unsigned threads = 0) {
+template <typename Body>
+void ParallelFor(size_t n, Body&& body, unsigned threads = 0) {
+  static_assert(std::is_invocable_v<Body&, size_t>,
+                "ParallelFor body must be callable as body(size_t)");
   if (n == 0) return;
   if (threads == 0) threads = HardwareThreads();
-  threads = static_cast<unsigned>(
-      std::min<size_t>(threads, n));
+  threads = static_cast<unsigned>(std::min<size_t>(threads, n));
   if (threads <= 1) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;

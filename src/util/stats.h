@@ -76,4 +76,29 @@ inline double SampleStddev(const std::vector<double>& xs) {
   return std::sqrt(s / static_cast<double>(xs.size() - 1));
 }
 
+/// Pearson chi-square statistic sum (obs - exp)^2 / exp over cells with
+/// exp > 0. `observed` are counts, `expected` are expected counts on the
+/// same cells (vectors must be the same length). Used by the statistical
+/// goodness-of-fit tests for the random walks.
+inline double ChiSquareStatistic(const std::vector<double>& observed,
+                                 const std::vector<double>& expected) {
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size() && i < expected.size(); ++i) {
+    if (expected[i] <= 0.0) continue;
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+/// Upper critical value of the chi-square distribution with `df` degrees
+/// of freedom at upper-tail z-score `z` (e.g. z = 3.09 for alpha ~ 0.001),
+/// via the Wilson-Hilferty cube approximation — accurate to a few percent
+/// for df >= 3, which is all the goodness-of-fit tests need.
+inline double ChiSquareCriticalValue(int df, double z) {
+  const double d = static_cast<double>(df);
+  const double t = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
 }  // namespace grw

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "exact/exact.h"
 #include "graph/builder.h"
@@ -70,6 +71,49 @@ TEST(BatchMeansTest, BatchEstimatesStructure) {
     for (double c : batch) sum += c;
     EXPECT_NEAR(sum, 1.0, 1e-9);
   }
+}
+
+TEST(BatchMeansAccumulatorTest, StandardErrorsMatchClosedForm) {
+  BatchMeansAccumulator acc;
+  EXPECT_EQ(acc.NumBatches(), 0);
+  EXPECT_TRUE(acc.StandardErrors().empty());
+  acc.AddBatch({0.2, 0.8});
+  // One batch: no spread information yet.
+  EXPECT_EQ(acc.StandardErrors(), (std::vector<double>{0.0, 0.0}));
+  acc.AddBatch({0.4, 0.6});
+  EXPECT_EQ(acc.NumBatches(), 2);
+  // Sample stddev of {0.2, 0.4} is sqrt(0.02); SE = sqrt(0.02 / 2) = 0.1.
+  const auto se = acc.StandardErrors();
+  ASSERT_EQ(se.size(), 2u);
+  EXPECT_NEAR(se[0], 0.1, 1e-12);
+  EXPECT_NEAR(se[1], 0.1, 1e-12);
+}
+
+TEST(BatchMeansAccumulatorTest, MaxRelativeErrorRespectsFloor) {
+  BatchMeansAccumulator acc;
+  acc.AddBatch({0.9, 0.1});
+  EXPECT_TRUE(std::isinf(acc.MaxRelativeError({0.9, 0.1}, 1e-3)));
+  acc.AddBatch({0.7, 0.3});
+  // SE: type0 sd(0.9,0.7)=sqrt(0.02), /sqrt(2) -> 0.1; same for type1.
+  // Relative: 0.1/0.8 = 0.125 vs 0.1/0.2 = 0.5 -> max 0.5.
+  EXPECT_NEAR(acc.MaxRelativeError({0.8, 0.2}, 1e-3), 0.5, 1e-12);
+  // Floor above type1's concentration drops it from the gate.
+  EXPECT_NEAR(acc.MaxRelativeError({0.8, 0.2}, 0.5), 0.125, 1e-12);
+  // Nothing above the floor: NaN (cannot assess convergence).
+  EXPECT_TRUE(std::isnan(acc.MaxRelativeError({0.0, 0.0}, 1e-3)));
+}
+
+TEST(BatchMeansAccumulatorTest, RejectsChangingBatchLength) {
+  BatchMeansAccumulator acc;
+  acc.AddBatch({0.5, 0.5});
+  EXPECT_THROW(acc.AddBatch({1.0}), std::invalid_argument);
+  // An empty first batch fixes the length at zero; it cannot silently
+  // widen later (which would undercount per-type batches and fake
+  // convergence).
+  BatchMeansAccumulator empty_first;
+  empty_first.AddBatch({});
+  EXPECT_EQ(empty_first.NumBatches(), 1);
+  EXPECT_THROW(empty_first.AddBatch({0.5, 0.5}), std::invalid_argument);
 }
 
 TEST(BatchMeansTest, RejectsDegenerateBatching) {

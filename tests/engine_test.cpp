@@ -1,0 +1,379 @@
+// Tests for the parallel estimation engine: ChainPool scheduling,
+// EstimateResult merging, thread-count determinism, and convergence-driven
+// early stopping.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/estimator.h"
+#include "engine/chain_pool.h"
+#include "engine/engine.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ChainPoolTest, CoversAllIndicesExactlyOnce) {
+  ChainPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  pool.ForEach(hits.size(), [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ChainPoolTest, ReusableAcrossJobsAndEmptyJobs) {
+  ChainPool pool(3);
+  pool.ForEach(0, [](size_t) { FAIL() << "empty job must not run"; });
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<int> count{0};
+    pool.ForEach(17, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 17);
+  }
+}
+
+TEST(ChainPoolTest, ThreadCapRespectedAndSerialFallback) {
+  ChainPool pool(8);
+  // max_threads = 1 runs everything on the calling thread, in order.
+  std::vector<size_t> order;
+  pool.ForEach(
+      10, [&](size_t i) { order.push_back(i); }, /*max_threads=*/1);
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ChainPoolTest, PropagatesBodyExceptions) {
+  ChainPool pool(4);
+  EXPECT_THROW(
+      pool.ForEach(64,
+                   [&](size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool is still usable after an exception.
+  std::atomic<int> count{0};
+  pool.ForEach(8, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ChainPoolTest, ReentrantForEachRunsInline) {
+  // A body that fans out on the same pool must not deadlock: the nested
+  // job runs inline on the calling thread.
+  ChainPool pool(4);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  pool.ForEach(8, [&](size_t outer) {
+    pool.ForEach(16, [&](size_t inner) { hits[outer * 16 + inner]++; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ChainPoolTest, ReentrantForEachFromSerialPathsRunsInline) {
+  // The serial fallbacks (max_threads = 1, n = 1, worker-less pool)
+  // hold the submission lock while running bodies inline; nesting from
+  // there must not self-deadlock either.
+  ChainPool pool(4);
+  std::atomic<int> count{0};
+  pool.ForEach(
+      2,
+      [&](size_t) { pool.ForEach(4, [&](size_t) { count++; }); },
+      /*max_threads=*/1);
+  EXPECT_EQ(count.load(), 8);
+
+  ChainPool single(1);  // no workers at all
+  std::atomic<int> single_count{0};
+  single.ForEach(3, [&](size_t) {
+    single.ForEach(5, [&](size_t) { single_count++; });
+  });
+  EXPECT_EQ(single_count.load(), 15);
+}
+
+TEST(ChainPoolTest, SharedPoolIsAlive) {
+  std::atomic<int> count{0};
+  ChainPool::Shared().ForEach(32, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_GE(ChainPool::Shared().NumThreads(), 1u);
+}
+
+// --------------------------------------------------------------- merge --
+
+EstimateResult MakeResult(std::vector<double> weights,
+                          std::vector<uint64_t> samples, uint64_t steps,
+                          uint64_t valid) {
+  EstimateResult r;
+  r.weights = std::move(weights);
+  r.samples = std::move(samples);
+  r.steps = steps;
+  r.valid_samples = valid;
+  FinalizeConcentrations(r);
+  return r;
+}
+
+TEST(MergeResultsTest, CombinesWeightsSamplesAndSteps) {
+  const EstimateResult a = MakeResult({1.0, 3.0}, {10, 30}, 100, 40);
+  const EstimateResult b = MakeResult({2.0, 2.0}, {20, 20}, 200, 40);
+  const EstimateResult m = MergeResults({a, b});
+  EXPECT_DOUBLE_EQ(m.weights[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.weights[1], 5.0);
+  EXPECT_EQ(m.samples[0], 30u);
+  EXPECT_EQ(m.samples[1], 50u);
+  EXPECT_EQ(m.steps, 300u);
+  EXPECT_EQ(m.valid_samples, 80u);
+  EXPECT_DOUBLE_EQ(m.concentrations[0], 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.concentrations[1], 5.0 / 8.0);
+}
+
+TEST(MergeResultsTest, SingleChainIsIdentity) {
+  const EstimateResult a = MakeResult({0.5, 1.5}, {5, 15}, 42, 20);
+  const EstimateResult m = MergeResults({a});
+  EXPECT_EQ(m.weights, a.weights);
+  EXPECT_EQ(m.samples, a.samples);
+  EXPECT_EQ(m.steps, a.steps);
+  EXPECT_EQ(m.valid_samples, a.valid_samples);
+  EXPECT_EQ(m.concentrations, a.concentrations);
+}
+
+TEST(MergeResultsTest, ZeroValidSamplesStayZero) {
+  // Chains that never produced a valid window: all-zero weights.
+  const EstimateResult a = MakeResult({0.0, 0.0}, {0, 0}, 50, 0);
+  const EstimateResult b = MakeResult({0.0, 0.0}, {0, 0}, 70, 0);
+  const EstimateResult m = MergeResults({a, b});
+  EXPECT_EQ(m.steps, 120u);
+  EXPECT_EQ(m.valid_samples, 0u);
+  EXPECT_DOUBLE_EQ(m.concentrations[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.concentrations[1], 0.0);
+  // Merging a productive chain into an unproductive one recovers its
+  // concentrations.
+  const EstimateResult c = MakeResult({1.0, 1.0}, {1, 1}, 30, 2);
+  const EstimateResult m2 = MergeResults({a, c});
+  EXPECT_DOUBLE_EQ(m2.concentrations[0], 0.5);
+  EXPECT_EQ(m2.steps, 80u);
+}
+
+TEST(MergeResultsTest, HeterogeneousStepCountsAdd) {
+  const EstimateResult a = MakeResult({2.0}, {2}, 10, 2);
+  const EstimateResult b = MakeResult({4.0}, {4}, 1000, 4);
+  const EstimateResult m = MergeResults({a, b});
+  EXPECT_EQ(m.steps, 1010u);
+  EXPECT_DOUBLE_EQ(m.concentrations[0], 1.0);
+}
+
+TEST(MergeResultsTest, EmptyInputAndTypeMismatch) {
+  const EstimateResult empty = MergeResults({});
+  EXPECT_TRUE(empty.weights.empty());
+  EXPECT_EQ(empty.steps, 0u);
+
+  EstimateResult two = MakeResult({1.0, 1.0}, {1, 1}, 10, 2);
+  const EstimateResult three = MakeResult({1.0, 1.0, 1.0}, {1, 1, 1}, 10, 3);
+  EXPECT_THROW(MergeInto(two, three), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- engine --
+
+EngineResult RunEngine(const Graph& g, const EstimatorConfig& config,
+                       int chains, unsigned threads, uint64_t steps,
+                       uint64_t round_steps = 0) {
+  EngineOptions options;
+  options.chains = chains;
+  options.threads = threads;
+  options.max_steps = steps;
+  options.base_seed = 1234;
+  options.round_steps = round_steps;
+  EstimationEngine engine(g, config, options);
+  return engine.Run();
+}
+
+TEST(EngineTest, BitIdenticalAcrossThreadCounts) {
+  Rng rng(5);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 4, 0.5, rng));
+  const EstimatorConfig config{4, 2, true, false};
+  const EngineResult base = RunEngine(g, config, 6, 1, 4000);
+  for (unsigned threads : {2u, 8u}) {
+    const EngineResult run = RunEngine(g, config, 6, threads, 4000);
+    ASSERT_EQ(run.per_chain.size(), base.per_chain.size());
+    for (size_t c = 0; c < base.per_chain.size(); ++c) {
+      // Bit-identical per chain: weights and counts, not just close.
+      EXPECT_EQ(run.per_chain[c].weights, base.per_chain[c].weights)
+          << "chain " << c << " at " << threads << " threads";
+      EXPECT_EQ(run.per_chain[c].samples, base.per_chain[c].samples);
+      EXPECT_EQ(run.per_chain[c].valid_samples,
+                base.per_chain[c].valid_samples);
+    }
+    EXPECT_EQ(run.merged.weights, base.merged.weights);
+    EXPECT_EQ(run.merged.concentrations, base.merged.concentrations);
+    EXPECT_EQ(run.merged.steps, base.merged.steps);
+    EXPECT_EQ(run.rounds, base.rounds);
+  }
+}
+
+TEST(EngineTest, RoundSlicingDoesNotChangeChains) {
+  // Chains advanced in many small rounds must equal one big round:
+  // Run(a); Run(b) on the same estimator is Run(a+b) by construction.
+  const Graph g = KarateClub();
+  const EstimatorConfig config{3, 1, false, false};
+  const EngineResult one = RunEngine(g, config, 3, 4, 6000, 6000);
+  const EngineResult many = RunEngine(g, config, 3, 4, 6000, 500);
+  EXPECT_GT(many.rounds, one.rounds);
+  ASSERT_EQ(one.per_chain.size(), many.per_chain.size());
+  for (size_t c = 0; c < one.per_chain.size(); ++c) {
+    EXPECT_EQ(one.per_chain[c].weights, many.per_chain[c].weights);
+  }
+  EXPECT_EQ(one.merged.weights, many.merged.weights);
+}
+
+TEST(EngineTest, MergedEqualsMergeOfPerChain) {
+  const Graph g = KarateClub();
+  const EngineResult run =
+      RunEngine(g, EstimatorConfig{4, 2, false, false}, 5, 0, 3000);
+  const EstimateResult manual = MergeResults(run.per_chain);
+  EXPECT_EQ(run.merged.weights, manual.weights);
+  EXPECT_EQ(run.merged.samples, manual.samples);
+  EXPECT_EQ(run.merged.steps, manual.steps);
+  EXPECT_EQ(run.merged.concentrations, manual.concentrations);
+  EXPECT_EQ(run.merged.steps, 5u * 3000u);
+}
+
+TEST(EngineTest, SingleRoundLeavesStandardErrorsEmpty) {
+  // One chain, one round -> one batch: no spread information, so the
+  // engine must report unknown (empty) errors, not zeros.
+  const Graph g = KarateClub();
+  const EngineResult run =
+      RunEngine(g, EstimatorConfig{3, 1, false, false}, 1, 1, 2000);
+  EXPECT_EQ(run.rounds, 1);
+  EXPECT_TRUE(run.standard_errors.empty());
+}
+
+TEST(EngineTest, ZeroChainsYieldEmptyResult) {
+  const Graph g = KarateClub();
+  const EngineResult run =
+      RunEngine(g, EstimatorConfig{3, 1, false, false}, 0, 0, 1000);
+  EXPECT_TRUE(run.per_chain.empty());
+  EXPECT_EQ(run.rounds, 0);
+  EXPECT_FALSE(run.converged);
+  EXPECT_EQ(run.merged.steps, 0u);
+}
+
+TEST(EngineTest, ConvergenceStopsBeforeStepCap) {
+  Rng rng(11);
+  const Graph g = LargestConnectedComponent(HolmeKim(500, 5, 0.4, rng));
+  EngineOptions options;
+  options.chains = 8;
+  options.max_steps = 400000;
+  options.base_seed = 7;
+  options.target_nrmse = 0.08;
+  EstimationEngine engine(g, EstimatorConfig{4, 2, true, false}, options);
+  const EngineResult run = engine.Run();
+  EXPECT_TRUE(run.converged);
+  EXPECT_LT(run.steps_per_chain, options.max_steps);
+  EXPECT_GE(run.rounds, 2);
+  EXPECT_LE(run.max_rel_error, options.target_nrmse);
+  EXPECT_GT(run.steps_per_second, 0.0);
+  // Standard errors are reported for every type.
+  EXPECT_EQ(run.standard_errors.size(), run.merged.concentrations.size());
+}
+
+TEST(EngineTest, ConvergedStoppingIsThreadCountInvariant) {
+  Rng rng(13);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 4, 0.5, rng));
+  EngineResult runs[2];
+  for (int i = 0; i < 2; ++i) {
+    EngineOptions options;
+    options.chains = 4;
+    options.threads = i == 0 ? 1 : 8;
+    options.max_steps = 200000;
+    options.base_seed = 99;
+    options.target_nrmse = 0.1;
+    options.round_steps = 2000;
+    EstimationEngine engine(g, EstimatorConfig{3, 1, true, false}, options);
+    runs[i] = engine.Run();
+  }
+  // The early-stopping decision is part of the determinism contract.
+  EXPECT_EQ(runs[0].rounds, runs[1].rounds);
+  EXPECT_EQ(runs[0].converged, runs[1].converged);
+  EXPECT_EQ(runs[0].steps_per_chain, runs[1].steps_per_chain);
+  EXPECT_EQ(runs[0].merged.weights, runs[1].merged.weights);
+}
+
+TEST(EngineTest, TightTargetHitsStepCapUnconverged) {
+  const Graph g = KarateClub();
+  EngineOptions options;
+  options.chains = 2;
+  options.max_steps = 2000;
+  options.target_nrmse = 1e-9;  // unreachable at this budget
+  EstimationEngine engine(g, EstimatorConfig{3, 1, false, false}, options);
+  const EngineResult run = engine.Run();
+  EXPECT_FALSE(run.converged);
+  EXPECT_EQ(run.steps_per_chain, options.max_steps);
+}
+
+TEST(EngineTest, ProgressReportsEveryRound) {
+  const Graph g = KarateClub();
+  EngineOptions options;
+  options.chains = 3;
+  options.max_steps = 4000;
+  options.round_steps = 1000;
+  int calls = 0;
+  uint64_t last_steps = 0;
+  options.on_progress = [&](const EngineProgress& p) {
+    ++calls;
+    EXPECT_EQ(p.round, calls);
+    EXPECT_EQ(p.chains, 3);
+    EXPECT_GT(p.steps_per_chain, last_steps);
+    EXPECT_EQ(p.total_steps, p.steps_per_chain * 3);
+    last_steps = p.steps_per_chain;
+  };
+  EstimationEngine engine(g, EstimatorConfig{3, 1, false, false},
+                          options);
+  const EngineResult run = engine.Run();
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(run.rounds, 4);
+  EXPECT_EQ(last_steps, 4000u);
+}
+
+TEST(EngineTest, RejectsBadConfiguration) {
+  const Graph g = KarateClub();
+  EngineOptions options;
+  options.chains = -1;
+  EXPECT_THROW(
+      EstimationEngine(g, EstimatorConfig{3, 1, false, false}, options),
+      std::invalid_argument);
+  options.chains = 1;
+  EXPECT_THROW(
+      EstimationEngine(g, EstimatorConfig{3, 3, false, false}, options),
+      std::invalid_argument);
+}
+
+TEST(MultiSizeEngineTest, MatchesPerSizeStructureAndDeterminism) {
+  Rng rng(21);
+  const Graph g = LargestConnectedComponent(HolmeKim(200, 4, 0.5, rng));
+  EngineOptions options;
+  options.chains = 4;
+  options.max_steps = 3000;
+  options.base_seed = 5;
+  const MultiSizeEngineResult a =
+      RunMultiSizeEngine(g, 2, {3, 4}, false, false, options);
+  ASSERT_EQ(a.merged.size(), 2u);
+  ASSERT_TRUE(a.merged.count(3));
+  ASSERT_TRUE(a.merged.count(4));
+  EXPECT_EQ(a.merged.at(3).steps, 4u * 3000u);
+  // Concentrations normalized per size.
+  for (int k : {3, 4}) {
+    double sum = 0.0;
+    for (double c : a.merged.at(k).concentrations) sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Determinism across thread counts.
+  options.threads = 1;
+  const MultiSizeEngineResult b =
+      RunMultiSizeEngine(g, 2, {4, 3, 3}, false, false, options);
+  EXPECT_EQ(a.merged.at(3).weights, b.merged.at(3).weights);
+  EXPECT_EQ(a.merged.at(4).weights, b.merged.at(4).weights);
+}
+
+}  // namespace
+}  // namespace grw

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -149,6 +150,65 @@ TEST(ParallelTest, ZeroAndOneElement) {
   int count = 0;
   ParallelFor(1, [&count](size_t) { ++count; }, 1);
   EXPECT_EQ(count, 1);
+}
+
+// ParallelFor is a template over the callable (no std::function on the
+// fan-out path): it must accept arbitrary callable kinds, not just
+// lambdas convertible to std::function.
+namespace parallel_callables {
+
+std::atomic<int> free_function_hits{0};
+void FreeFunction(size_t) { free_function_hits++; }
+
+struct Functor {
+  std::atomic<int>* hits;
+  void operator()(size_t) const { (*hits)++; }
+};
+
+}  // namespace parallel_callables
+
+TEST(ParallelTest, AcceptsFunctionPointersAndFunctors) {
+  parallel_callables::free_function_hits = 0;
+  ParallelFor(64, parallel_callables::FreeFunction);
+  EXPECT_EQ(parallel_callables::free_function_hits.load(), 64);
+
+  std::atomic<int> hits{0};
+  ParallelFor(64, parallel_callables::Functor{&hits});
+  EXPECT_EQ(hits.load(), 64);
+
+  // Generic lambda: operator() is a template, impossible to wrap in a
+  // std::function without choosing a signature first.
+  std::atomic<int> generic_hits{0};
+  ParallelFor(64, [&](auto) { generic_hits++; });
+  EXPECT_EQ(generic_hits.load(), 64);
+}
+
+TEST(ParallelTest, ThreadCapBeyondElementCount) {
+  std::vector<std::atomic<int>> hits(7);
+  ParallelFor(7, [&](size_t i) { hits[i]++; }, /*threads=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(StatsTest, ChiSquareStatisticMatchesHandComputation) {
+  // obs {12, 8}, exp {10, 10}: (2^2 + 2^2) / 10 = 0.8.
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic({12.0, 8.0}, {10.0, 10.0}), 0.8);
+  // Perfect fit.
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic({5.0, 5.0}, {5.0, 5.0}), 0.0);
+  // Zero-expected cells are skipped, not divided by.
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic({3.0, 12.0}, {0.0, 10.0}), 0.4);
+}
+
+TEST(StatsTest, ChiSquareCriticalValueApproximatesTables) {
+  // Wilson-Hilferty vs table values for the 0.05 upper tail (z = 1.645):
+  // df=10 -> 18.31, df=30 -> 43.77, df=100 -> 124.34.
+  EXPECT_NEAR(ChiSquareCriticalValue(10, 1.645), 18.31, 0.3);
+  EXPECT_NEAR(ChiSquareCriticalValue(30, 1.645), 43.77, 0.4);
+  EXPECT_NEAR(ChiSquareCriticalValue(100, 1.645), 124.34, 0.8);
+  // Monotone in both arguments.
+  EXPECT_LT(ChiSquareCriticalValue(10, 1.645),
+            ChiSquareCriticalValue(10, 3.09));
+  EXPECT_LT(ChiSquareCriticalValue(10, 1.645),
+            ChiSquareCriticalValue(20, 1.645));
 }
 
 }  // namespace

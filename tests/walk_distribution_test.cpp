@@ -1,0 +1,228 @@
+// Statistical goodness-of-fit tests for the walk substrate.
+//
+// Structural tests (tests/walk_test.cpp) check stationary frequencies
+// within loose tolerances; these tests make the claim *statistical*: a
+// Pearson chi-square test of the empirical visit distribution against the
+// degree-proportional stationary distribution (paper Section 2.2), and of
+// the per-state transition distribution against uniform-over-neighbors —
+// the random-walk testing idiom from the node2vec exemplar. All seeds are
+// fixed, so the assertions are deterministic.
+//
+// Method notes: successive Markov-chain states are correlated, so for the
+// stationary tests the chain is thinned (every kThin-th state) to make the
+// multinomial sampling model reasonable; transitions *out of* a given
+// state are i.i.d. uniform draws, so the transition tests need no
+// thinning. Critical values use the Wilson-Hilferty approximation at
+// z = 3.29 (upper tail ~5e-4) — fixed seeds keep this deterministic, the
+// small alpha keeps it robust to residual correlation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "walk/edge_walk.h"
+#include "walk/node_walk.h"
+
+namespace grw {
+namespace {
+
+constexpr double kTailZ = 3.29;  // upper-tail z for alpha ~ 5e-4
+constexpr uint64_t kThin = 25;   // thinning stride for stationary tests
+
+// Chi-square GOF of thinned NodeWalk visits vs pi(v) = d_v / 2|E|.
+void CheckNodeStationary(const Graph& g, bool nb, uint64_t seed,
+                         uint64_t samples) {
+  NodeWalk walk(g, nb);
+  Rng rng(seed);
+  walk.Reset(rng);
+  std::vector<double> observed(g.NumNodes(), 0.0);
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (uint64_t t = 0; t < kThin; ++t) walk.Step(rng);
+    observed[walk.Current()] += 1.0;
+  }
+  const double two_m = 2.0 * static_cast<double>(g.NumEdges());
+  std::vector<double> expected(g.NumNodes(), 0.0);
+  for (VertexId v = 0; v < g.NumNodes(); ++v) {
+    expected[v] = static_cast<double>(g.Degree(v)) / two_m *
+                  static_cast<double>(samples);
+    ASSERT_GE(expected[v], 5.0) << "cell too thin for chi-square";
+  }
+  const double stat = ChiSquareStatistic(observed, expected);
+  const int df = static_cast<int>(g.NumNodes()) - 1;
+  EXPECT_LT(stat, ChiSquareCriticalValue(df, kTailZ))
+      << "df=" << df << " nb=" << nb;
+}
+
+TEST(NodeWalkDistributionTest, StationaryChiSquareOnKarateClub) {
+  CheckNodeStationary(KarateClub(), /*nb=*/false, /*seed=*/2001,
+                      /*samples=*/20000);
+}
+
+TEST(NodeWalkDistributionTest, StationaryChiSquareOnLollipop) {
+  CheckNodeStationary(Lollipop(5, 3), /*nb=*/false, /*seed=*/2002,
+                      /*samples=*/15000);
+}
+
+TEST(NodeWalkDistributionTest, NonBacktrackingKeepsStationaryChiSquare) {
+  // Paper Section 4.2: the NB walk has the same stationary distribution.
+  CheckNodeStationary(KarateClub(), /*nb=*/true, /*seed=*/2003,
+                      /*samples=*/20000);
+}
+
+TEST(NodeWalkDistributionTest, TransitionsAreUniformOverNeighborsAndReal) {
+  // Conditional on being at v, the next node is uniform over N(v): i.i.d.
+  // multinomial draws, the node2vec test idiom. Also: every emitted
+  // transition must be an actual edge of G.
+  const Graph g = KarateClub();
+  NodeWalk walk(g);
+  Rng rng(2004);
+  walk.Reset(rng);
+  // counts[v][i]: transitions v -> i-th neighbor of v.
+  std::vector<std::vector<double>> counts(g.NumNodes());
+  for (VertexId v = 0; v < g.NumNodes(); ++v) {
+    counts[v].assign(g.Degree(v), 0.0);
+  }
+  std::vector<double> visits(g.NumNodes(), 0.0);
+  const uint64_t steps = 300000;
+  VertexId prev = walk.Current();
+  for (uint64_t s = 0; s < steps; ++s) {
+    walk.Step(rng);
+    const VertexId cur = walk.Current();
+    ASSERT_TRUE(g.HasEdge(prev, cur))
+        << "walk emitted a non-edge " << prev << "-" << cur;
+    const auto neighbors = g.Neighbors(prev);
+    const auto it =
+        std::lower_bound(neighbors.begin(), neighbors.end(), cur);
+    ASSERT_TRUE(it != neighbors.end() && *it == cur);
+    counts[prev][static_cast<size_t>(it - neighbors.begin())] += 1.0;
+    visits[prev] += 1.0;
+    prev = cur;
+  }
+  // Pooled chi-square across start nodes: df = sum_v (deg_v - 1).
+  double stat = 0.0;
+  int df = 0;
+  for (VertexId v = 0; v < g.NumNodes(); ++v) {
+    if (g.Degree(v) < 2 || visits[v] < 5.0 * g.Degree(v)) continue;
+    const std::vector<double> expected(
+        g.Degree(v), visits[v] / static_cast<double>(g.Degree(v)));
+    stat += ChiSquareStatistic(counts[v], expected);
+    df += static_cast<int>(g.Degree(v)) - 1;
+  }
+  ASSERT_GT(df, 0);
+  EXPECT_LT(stat, ChiSquareCriticalValue(df, kTailZ)) << "df=" << df;
+}
+
+TEST(EdgeWalkDistributionTest, StationaryChiSquareOnKarateClub) {
+  // pi(e_uv) = (d_u + d_v - 2) / 2|R(2)| (paper Section 2.2 on G(2)).
+  const Graph g = KarateClub();
+  EdgeWalk walk(g);
+  Rng rng(2005);
+  walk.Reset(rng);
+  std::map<std::pair<VertexId, VertexId>, double> observed;
+  const uint64_t samples = 30000;
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (uint64_t t = 0; t < kThin; ++t) walk.Step(rng);
+    const auto nodes = walk.Nodes();
+    observed[{nodes[0], nodes[1]}] += 1.0;
+  }
+  const double two_r2 = 2.0 * static_cast<double>(g.WedgeCount());
+  std::vector<double> obs_cells;
+  std::vector<double> exp_cells;
+  for (VertexId u = 0; u < g.NumNodes(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u >= v) continue;
+      const double expected =
+          static_cast<double>(g.Degree(u) + g.Degree(v) - 2) / two_r2 *
+          static_cast<double>(samples);
+      ASSERT_GE(expected, 5.0) << "cell too thin for chi-square";
+      const auto it = observed.find({u, v});
+      obs_cells.push_back(it == observed.end() ? 0.0 : it->second);
+      exp_cells.push_back(expected);
+    }
+  }
+  const double stat = ChiSquareStatistic(obs_cells, exp_cells);
+  const int df = static_cast<int>(exp_cells.size()) - 1;
+  EXPECT_LT(stat, ChiSquareCriticalValue(df, kTailZ)) << "df=" << df;
+}
+
+TEST(EdgeWalkDistributionTest, EveryStateIsARealEdgeSharingOneEndpoint) {
+  // G(2) adjacency: consecutive edge states share exactly d - 1 = 1
+  // vertex, and every state is an existing edge of G.
+  const Graph g = KarateClub();
+  EdgeWalk walk(g);
+  Rng rng(2006);
+  walk.Reset(rng);
+  std::vector<VertexId> prev(walk.Nodes().begin(), walk.Nodes().end());
+  ASSERT_TRUE(g.HasEdge(prev[0], prev[1]));
+  for (int s = 0; s < 20000; ++s) {
+    walk.Step(rng);
+    const auto nodes = walk.Nodes();
+    ASSERT_TRUE(g.HasEdge(nodes[0], nodes[1]))
+        << "state is not an edge: " << nodes[0] << "-" << nodes[1];
+    int shared = 0;
+    for (VertexId a : prev) {
+      if (a == nodes[0] || a == nodes[1]) ++shared;
+    }
+    ASSERT_EQ(shared, 1) << "consecutive states must share one endpoint";
+    prev.assign(nodes.begin(), nodes.end());
+  }
+}
+
+TEST(EdgeWalkDistributionTest, TransitionsAreUniformOverNeighborStates) {
+  // From state e_uv the walk picks uniformly among the d_u + d_v - 2
+  // neighbor states. Pool per-state chi-squares for frequently visited
+  // states on a small fixture where states recur often.
+  const Graph g = Lollipop(5, 2);  // K5 plus a 2-node tail
+  EdgeWalk walk(g);
+  Rng rng(2007);
+  walk.Reset(rng);
+  using State = std::pair<VertexId, VertexId>;
+  std::map<State, std::map<State, double>> transitions;
+  std::map<State, double> visits;
+  State prev = {walk.Nodes()[0], walk.Nodes()[1]};
+  const uint64_t steps = 200000;
+  for (uint64_t s = 0; s < steps; ++s) {
+    walk.Step(rng);
+    const State cur = {walk.Nodes()[0], walk.Nodes()[1]};
+    transitions[prev][cur] += 1.0;
+    visits[prev] += 1.0;
+    prev = cur;
+  }
+  double stat = 0.0;
+  int df = 0;
+  for (const auto& [state, outs] : transitions) {
+    const double deg = static_cast<double>(
+        g.Degree(state.first) + g.Degree(state.second) - 2);
+    if (visits[state] < 5.0 * deg) continue;
+    // All observed next-states must be G(2) neighbors: share an endpoint.
+    std::vector<double> obs;
+    for (const auto& [next, count] : outs) {
+      int shared = 0;
+      if (next.first == state.first || next.first == state.second) ++shared;
+      if (next.second == state.first || next.second == state.second) {
+        ++shared;
+      }
+      ASSERT_EQ(shared, 1);
+      obs.push_back(count);
+    }
+    // Unvisited neighbor states are zero-count cells.
+    while (obs.size() < static_cast<size_t>(deg)) obs.push_back(0.0);
+    ASSERT_LE(obs.size(), static_cast<size_t>(deg));
+    const std::vector<double> expected(obs.size(), visits[state] / deg);
+    stat += ChiSquareStatistic(obs, expected);
+    df += static_cast<int>(deg) - 1;
+  }
+  ASSERT_GT(df, 0);
+  EXPECT_LT(stat, ChiSquareCriticalValue(df, kTailZ)) << "df=" << df;
+}
+
+}  // namespace
+}  // namespace grw

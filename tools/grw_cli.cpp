@@ -12,11 +12,18 @@
 //   grw exact <edge-list> --k K
 //       Exact induced graphlet counts and concentrations.
 //   grw estimate <edge-list> --k K [--d D] [--css 0|1] [--nb 0|1]
-//       [--steps N] [--seed S] [--chains C] [--counts]
-//       Random-walk estimation (the paper's Algorithm 1).
+//       [--steps N] [--seed S] [--chains C] [--threads T] [--counts]
+//       [--target-nrmse X] [--max-steps N] [--quiet]
+//       Random-walk estimation (the paper's Algorithm 1) on the parallel
+//       estimation engine: --chains independent chains merged into one
+//       estimate; with --target-nrmse the engine stops as soon as the
+//       batch-means relative standard error of every non-negligible
+//       concentration is below X (capped at --max-steps per chain,
+//       default --steps).
 //
 // Every command accepts --help-free flag forms --name value / --name=value.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,6 +31,8 @@
 
 #include "core/estimator.h"
 #include "core/paper_ids.h"
+#include "core/rsize.h"
+#include "engine/engine.h"
 #include "eval/datasets.h"
 #include "exact/exact.h"
 #include "exact/triangle.h"
@@ -45,7 +54,9 @@ int Usage() {
       "  generate <name|er|ba|hk|ws> ...  write a synthetic edge list\n"
       "  info <edge-list>                 graph statistics\n"
       "  exact <edge-list> --k K          exact graphlet statistics\n"
-      "  estimate <edge-list> --k K ...   random-walk estimation\n",
+      "  estimate <edge-list> --k K [--chains C] [--target-nrmse X]\n"
+      "           [--max-steps N] ...     random-walk estimation with\n"
+      "                                   convergence-driven stopping\n",
       stderr);
   return 2;
 }
@@ -158,38 +169,112 @@ int CmdEstimate(const grw::Flags& flags) {
   config.d = static_cast<int>(flags.GetInt("d", config.k == 3 ? 1 : 2));
   config.css = flags.GetBool("css", config.d <= 2);
   config.nb = flags.GetBool("nb", config.k == 3);
-  const uint64_t steps = flags.GetInt("steps", 100000);
-  const int chains = static_cast<int>(flags.GetInt("chains", 1));
-  const uint64_t seed = flags.GetInt("seed", 42);
+  const int64_t steps = flags.GetInt("steps", 100000);
   const bool counts = flags.GetBool("counts");
-
-  grw::WallTimer timer;
-  std::vector<std::vector<double>> per_chain;
-  grw::GraphletEstimator estimator(g, config);
-  for (int c = 0; c < chains; ++c) {
-    estimator.Reset(grw::DeriveSeed(seed, c));
-    estimator.Run(steps);
-    per_chain.push_back(counts ? estimator.CountEstimates()
-                               : estimator.Result().concentrations);
+  const bool quiet = flags.GetBool("quiet");
+  if (counts && config.d > 2) {
+    throw std::runtime_error(
+        "--counts requires --d <= 2 (no closed-form |R(d)| for d >= 3)");
   }
-  grw::Table table(config.Name() + ", " + std::to_string(steps) +
-                   " steps x " + std::to_string(chains) + " chain(s), " +
-                   grw::Table::Duration(timer.Seconds()));
+
+  // Engine knobs: chains fan out on the persistent pool; --target-nrmse
+  // enables convergence-driven early stopping, capped by --max-steps
+  // (default: the --steps budget). Validate before any signed value is
+  // narrowed into the unsigned engine fields.
+  grw::EngineOptions options;
+  options.chains = static_cast<int>(flags.GetInt("chains", 1));
+  if (options.chains < 1) {
+    throw std::runtime_error("--chains must be >= 1");
+  }
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads < 0) {
+    throw std::runtime_error("--threads must be >= 0");
+  }
+  options.threads = static_cast<unsigned>(threads);
+  options.base_seed = flags.GetInt("seed", 42);
+  options.target_nrmse = flags.GetDouble("target-nrmse", 0.0);
+  const int64_t max_steps = flags.GetInt("max-steps", steps);
+  if (max_steps < 1) {
+    throw std::runtime_error("--steps / --max-steps must be >= 1");
+  }
+  options.max_steps = static_cast<uint64_t>(max_steps);
+  if (options.target_nrmse > 0.0 || options.chains > 1) {
+    // Fix the round slicing here so --quiet (which only drops the
+    // progress callback) cannot change the batch structure and thus the
+    // reported standard errors.
+    options.round_steps =
+        grw::EngineOptions::DefaultRoundSteps(options.max_steps);
+  }
+  if (!quiet && (options.target_nrmse > 0.0 || options.chains > 1)) {
+    options.on_progress = [](const grw::EngineProgress& p) {
+      std::fprintf(stderr,
+                   "[engine] round %d: %llu/%llu steps/chain x %d chains, "
+                   "%.2fM steps/s, max rel err %.4f\n",
+                   p.round,
+                   static_cast<unsigned long long>(p.steps_per_chain),
+                   static_cast<unsigned long long>(p.max_steps), p.chains,
+                   p.steps_per_second / 1e6, p.max_rel_error);
+    };
+  }
+
+  grw::EstimationEngine engine(g, config, options);
+  const grw::EngineResult run = engine.Run();
+
+  std::string title =
+      config.Name() + ", " +
+      std::to_string(run.steps_per_chain) + " steps x " +
+      std::to_string(options.chains) + " chain(s), " +
+      grw::Table::Duration(run.seconds);
+  if (options.target_nrmse > 0.0) {
+    title += run.converged ? ", converged" : ", NOT converged";
+  }
+  grw::Table table(title);
   table.SetHeader({"graphlet", "name",
                    counts ? "estimated count" : "estimated concentration",
-                   "stddev"});
+                   "conc batch SE", "chain stddev"});
+  const uint64_t relationship_edges =
+      counts ? grw::RelationshipEdgeCount(g, config.d) : 0;
+  const std::vector<double> merged_values =
+      counts ? grw::CountEstimatesFromResult(run.merged, relationship_edges)
+             : run.merged.concentrations;
+  // Per-chain values in the same units as the estimate column, so the
+  // across-chain stddev is directly comparable to it.
+  std::vector<std::vector<double>> chain_values;
+  chain_values.reserve(run.per_chain.size());
+  for (const auto& chain : run.per_chain) {
+    chain_values.push_back(
+        counts ? grw::CountEstimatesFromResult(chain, relationship_edges)
+               : chain.concentrations);
+  }
   const auto& order = grw::PaperOrder(config.k);
   const auto& catalog = grw::GraphletCatalog::ForSize(config.k);
   for (size_t pos = 0; pos < order.size(); ++pos) {
     const int id = order[pos];
     std::vector<double> values;
-    for (const auto& chain : per_chain) values.push_back(chain[id]);
+    for (const auto& chain : chain_values) {
+      values.push_back(chain[id]);
+    }
     table.AddRow({grw::PaperLabel(config.k, static_cast<int>(pos)),
-                  catalog.Get(id).name, grw::Table::Sci(grw::Mean(values)),
-                  chains > 1 ? grw::Table::Sci(grw::SampleStddev(values))
-                             : "-"});
+                  catalog.Get(id).name, grw::Table::Sci(merged_values[id]),
+                  run.standard_errors.empty()
+                      ? "-"
+                      : grw::Table::Sci(run.standard_errors[id]),
+                  options.chains > 1
+                      ? grw::Table::Sci(grw::SampleStddev(values))
+                      : "-"});
   }
   table.Print();
+  if (!quiet) {
+    std::printf("throughput: %.2fM steps/s across %d chain(s)",
+                run.steps_per_second / 1e6, options.chains);
+    if (options.target_nrmse > 0.0) {
+      std::printf("; %s at %llu steps/chain (target %.3f, reached %.4f)",
+                  run.converged ? "converged" : "step cap hit",
+                  static_cast<unsigned long long>(run.steps_per_chain),
+                  options.target_nrmse, run.max_rel_error);
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
