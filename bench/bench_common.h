@@ -6,7 +6,10 @@
 //   --scale S     dataset scale factor in (0, 1]
 //   --paper       run at published scale (1,000 sims etc.)
 //   --csv PATH    mirror the main table to a CSV file
-//   --graph PATH  replace the synthetic datasets with a real edge list
+//   --graph PATH  replace the synthetic datasets with a real graph file
+//                 (text edge list or .grwb binary snapshot, auto-detected;
+//                 convert once with `grw convert` so repeated bench runs
+//                 mmap the CSR instead of re-parsing text)
 
 #pragma once
 
@@ -16,8 +19,8 @@
 
 #include "eval/datasets.h"
 #include "eval/ground_truth.h"
+#include "graph/format.h"
 #include "graph/graph.h"
-#include "graph/io.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -40,7 +43,7 @@ inline std::vector<BenchGraph> LoadBenchGraphs(const Flags& flags,
   if (!path.empty()) {
     BenchGraph bg;
     bg.name = path;
-    bg.graph = LoadEdgeList(path);
+    bg.graph = LoadGraph(path);
     // Real files get a key derived from their shape.
     bg.cache_key = "file_n" + std::to_string(bg.graph.NumNodes()) + "_m" +
                    std::to_string(bg.graph.NumEdges());

@@ -19,7 +19,7 @@
 #include "eval/datasets.h"
 #include "eval/similarity.h"
 #include "graph/generators.h"
-#include "graph/io.h"
+#include "graph/format.h"
 #include "graphlet/catalog.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::string unknown_name;
   if (flags.Has("graph")) {
     unknown_name = flags.GetString("graph", "");
-    unknown = grw::LoadEdgeList(unknown_name);
+    unknown = grw::LoadGraph(unknown_name);
   } else {
     unknown_name = "mystery (Holme-Kim, clustered)";
     grw::Rng rng(0xabcdef);

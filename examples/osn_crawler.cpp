@@ -19,7 +19,7 @@
 #include "eval/datasets.h"
 #include "exact/triangle.h"
 #include "graph/access.h"
-#include "graph/io.h"
+#include "graph/format.h"
 #include "graphlet/catalog.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   grw::Graph graph;
   const std::string path = flags.GetString("graph", "");
   if (!path.empty()) {
-    graph = grw::LoadEdgeList(path);
+    graph = grw::LoadGraph(path);
   } else {
     graph = grw::MakeDatasetByName("flickr-sim", 0.5);
   }

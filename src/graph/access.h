@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 
@@ -21,26 +22,29 @@
 namespace grw {
 
 /// Neighbor-list-only view of a graph with API-call accounting.
+/// Thread-safe: one facade may be shared across the engine's chains; the
+/// call counter is a relaxed atomic (the count is a statistic, not a
+/// synchronization point, so contended increments stay cheap).
 class RestrictedAccess {
  public:
   explicit RestrictedAccess(const Graph& g) : g_(&g) {}
 
   /// Degree of v (one API call — profile fetch).
   uint32_t Degree(VertexId v) const {
-    ++calls_;
+    Count();
     return g_->Degree(v);
   }
 
   /// Full friend list of v (one API call).
   std::span<const VertexId> Neighbors(VertexId v) const {
-    ++calls_;
+    Count();
     return g_->Neighbors(v);
   }
 
   /// Uniform random neighbor of v (one API call; OSN APIs with paging
   /// support this with a random page index). Requires Degree(v) > 0.
   VertexId RandomNeighbor(VertexId v, Rng& rng) const {
-    ++calls_;
+    Count();
     return g_->Neighbor(v, static_cast<uint32_t>(
                                rng.UniformInt(g_->Degree(v))));
   }
@@ -49,7 +53,7 @@ class RestrictedAccess {
   /// implemented client-side by searching the cached friend list, but we
   /// account for the fetch of that list conservatively.
   bool HasEdge(VertexId u, VertexId v) const {
-    ++calls_;
+    Count();
     return g_->HasEdge(u, v);
   }
 
@@ -57,12 +61,17 @@ class RestrictedAccess {
   /// seeding the walk in simulations only.
   VertexId NumNodesForSeeding() const { return g_->NumNodes(); }
 
-  uint64_t ApiCalls() const { return calls_; }
-  void ResetApiCalls() { calls_ = 0; }
+  /// O(1): a single relaxed load.
+  uint64_t ApiCalls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  void ResetApiCalls() { calls_.store(0, std::memory_order_relaxed); }
 
  private:
+  void Count() const { calls_.fetch_add(1, std::memory_order_relaxed); }
+
   const Graph* g_;
-  mutable uint64_t calls_ = 0;
+  mutable std::atomic<uint64_t> calls_{0};
 };
 
 }  // namespace grw

@@ -1,30 +1,64 @@
 #include "graph/builder.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <numeric>
+
+#include "util/parallel.h"
 
 namespace grw {
 
 namespace {
 
+// Below this many half-edges the thread fan-out costs more than it saves;
+// everything runs on the calling thread (which ParallelSort/ParallelFor
+// already guarantee for small inputs, this just keeps the constant in one
+// place for the counting passes too).
+constexpr size_t kParallelHalfEdgeCutoff = 1 << 16;
+
 // Shared CSR assembly: takes directed half-edges (both directions present),
-// sorts, dedupes, and emits the Graph.
+// sorts, dedupes, and emits the Graph. Sorting — the dominant cost on
+// multi-million-edge inputs — and the per-node counting / neighbor fill
+// passes fan out via util/parallel.h; the result is identical to the
+// serial pipeline at any thread count.
 Graph AssembleCsr(VertexId num_nodes,
                   std::vector<std::pair<VertexId, VertexId>>& half_edges) {
-  std::sort(half_edges.begin(), half_edges.end());
+  ParallelSort(half_edges);
   half_edges.erase(std::unique(half_edges.begin(), half_edges.end()),
                    half_edges.end());
 
   std::vector<uint64_t> offsets(static_cast<size_t>(num_nodes) + 1, 0);
-  for (const auto& [u, v] : half_edges) offsets[u + 1]++;
+  if (half_edges.size() < kParallelHalfEdgeCutoff || num_nodes == 0) {
+    for (const auto& [u, v] : half_edges) offsets[u + 1]++;
+  } else {
+    // Per-node degree counting: each thread owns a contiguous node range,
+    // finds its slice of the sorted half-edge array by binary search, and
+    // counts into disjoint offsets entries — no atomics needed.
+    const size_t chunks = std::min<size_t>(HardwareThreads(), num_nodes);
+    ParallelFor(chunks, [&](size_t c) {
+      const VertexId lo =
+          static_cast<VertexId>(uint64_t{num_nodes} * c / chunks);
+      const VertexId hi =
+          static_cast<VertexId>(uint64_t{num_nodes} * (c + 1) / chunks);
+      auto it = std::lower_bound(
+          half_edges.begin(), half_edges.end(), lo,
+          [](const auto& e, VertexId node) { return e.first < node; });
+      for (; it != half_edges.end() && it->first < hi; ++it) {
+        offsets[it->first + 1]++;
+      }
+    });
+  }
   for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
 
   std::vector<VertexId> neighbors(half_edges.size());
   // half_edges are sorted by (u, v), so neighbors are emitted in sorted
-  // order per node by a single linear pass.
-  for (size_t i = 0; i < half_edges.size(); ++i) {
-    neighbors[i] = half_edges[i].second;
-  }
+  // order per node by a linear pass; chunks are independent.
+  const size_t fill_chunks =
+      half_edges.size() < kParallelHalfEdgeCutoff ? 1 : HardwareThreads();
+  ParallelFor(fill_chunks, [&](size_t c) {
+    const size_t lo = half_edges.size() * c / fill_chunks;
+    const size_t hi = half_edges.size() * (c + 1) / fill_chunks;
+    for (size_t i = lo; i < hi; ++i) neighbors[i] = half_edges[i].second;
+  });
   return Graph(std::move(offsets), std::move(neighbors));
 }
 
@@ -41,26 +75,40 @@ Graph GraphBuilder::Build() {
       ids.push_back(v);
     }
   }
-  std::sort(ids.begin(), ids.end());
+  ParallelSort(ids);
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 
-  std::unordered_map<uint64_t, VertexId> relabel;
-  relabel.reserve(ids.size() * 2);
-  for (size_t i = 0; i < ids.size(); ++i) {
-    relabel.emplace(ids[i], static_cast<VertexId>(i));
-  }
-
-  std::vector<std::pair<VertexId, VertexId>> half;
-  half.reserve(edges_.size() * 2);
-  for (const auto& [u, v] : edges_) {
-    if (u == v) continue;
-    const VertexId a = relabel.at(u);
-    const VertexId b = relabel.at(v);
-    half.emplace_back(a, b);
-    half.emplace_back(b, a);
-  }
+  // Binary-search relabeling into the sorted distinct-id array: O(log n)
+  // per endpoint, no hash map, and trivially parallel. Self-loops become a
+  // sentinel pair that sorts past every real node and is trimmed below.
+  constexpr VertexId kLoop = static_cast<VertexId>(-1);
+  const size_t raw = edges_.size();
+  std::vector<std::pair<VertexId, VertexId>> half(raw * 2);
+  const size_t chunks =
+      raw < kParallelHalfEdgeCutoff / 2 ? 1 : HardwareThreads();
+  ParallelFor(chunks, [&](size_t c) {
+    const size_t lo = raw * c / chunks;
+    const size_t hi = raw * (c + 1) / chunks;
+    for (size_t i = lo; i < hi; ++i) {
+      const auto [u, v] = edges_[i];
+      if (u == v) {
+        half[2 * i] = {kLoop, kLoop};
+        half[2 * i + 1] = {kLoop, kLoop};
+        continue;
+      }
+      const auto a = static_cast<VertexId>(
+          std::lower_bound(ids.begin(), ids.end(), u) - ids.begin());
+      const auto b = static_cast<VertexId>(
+          std::lower_bound(ids.begin(), ids.end(), v) - ids.begin());
+      half[2 * i] = {a, b};
+      half[2 * i + 1] = {b, a};
+    }
+  });
   edges_.clear();
   edges_.shrink_to_fit();
+  half.erase(std::remove(half.begin(), half.end(),
+                         std::pair<VertexId, VertexId>{kLoop, kLoop}),
+             half.end());
   return AssembleCsr(static_cast<VertexId>(ids.size()), half);
 }
 
@@ -117,7 +165,10 @@ Graph LargestConnectedComponent(const Graph& g) {
   }
 
   std::vector<std::pair<VertexId, VertexId>> half;
-  half.reserve(g.NumEdges());
+  // Two half-edges are kept per surviving undirected edge, so 2|E| bounds
+  // the final size; reserving |E| (the old code) guaranteed a mid-loop
+  // reallocation on any graph whose LCC holds more than half the edges.
+  half.reserve(2 * g.NumEdges());
   for (VertexId v = 0; v < n; ++v) {
     if (component[v] != best) continue;
     for (VertexId w : g.Neighbors(v)) {
@@ -125,6 +176,41 @@ Graph LargestConnectedComponent(const Graph& g) {
     }
   }
   return AssembleCsr(next, half);
+}
+
+Graph RelabelByDegree(const Graph& g) {
+  const VertexId n = g.NumNodes();
+  if (n == 0) return Graph();
+
+  // order[new] = old, highest degree first, ties by old id for determinism.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const uint32_t da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+  std::vector<VertexId> new_id(n);
+  for (VertexId i = 0; i < n; ++i) new_id[order[i]] = i;
+
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId i = 0; i < n; ++i) offsets[i + 1] = g.Degree(order[i]);
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> neighbors(g.RawNeighbors().size());
+  // Each new node owns a disjoint slice; remap + per-list sort in parallel.
+  const size_t chunks = std::min<size_t>(
+      neighbors.size() < kParallelHalfEdgeCutoff ? 1 : HardwareThreads(), n);
+  ParallelFor(chunks, [&](size_t c) {
+    const VertexId lo = static_cast<VertexId>(uint64_t{n} * c / chunks);
+    const VertexId hi = static_cast<VertexId>(uint64_t{n} * (c + 1) / chunks);
+    for (VertexId i = lo; i < hi; ++i) {
+      VertexId* out = neighbors.data() + offsets[i];
+      size_t j = 0;
+      for (VertexId w : g.Neighbors(order[i])) out[j++] = new_id[w];
+      std::sort(out, out + j);
+    }
+  });
+  return Graph(std::move(offsets), std::move(neighbors));
 }
 
 }  // namespace grw

@@ -6,6 +6,28 @@
 
 namespace grw {
 
+namespace {
+
+// Backing for graphs built in memory: owns the CSR vectors the spans view.
+struct VectorBacking : Graph::Backing {
+  VectorBacking(std::vector<uint64_t> o, std::vector<VertexId> n)
+      : offsets(std::move(o)), neighbors(std::move(n)) {}
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+};
+
+}  // namespace
+
+Graph::Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors) {
+  assert(!offsets.empty());
+  assert(offsets.back() == neighbors.size());
+  auto backing =
+      std::make_shared<VectorBacking>(std::move(offsets), std::move(neighbors));
+  offsets_ = backing->offsets;
+  neighbors_ = backing->neighbors;
+  backing_ = std::move(backing);
+}
+
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   if (u >= NumNodes() || v >= NumNodes() || u == v) return false;
   // Search the smaller adjacency list.

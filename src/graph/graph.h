@@ -7,11 +7,18 @@
 //  * The structure is immutable after construction; all samplers share one
 //    const Graph& across threads without synchronization.
 //  * Node ids are dense uint32_t in [0, NumNodes()).
+//  * The CSR arrays are viewed through spans whose storage lives in a
+//    shared, opaque Backing. The backing is either a pair of owned vectors
+//    (graphs built in memory) or a memory-mapped `.grwb` snapshot
+//    (graph/format.h), which makes loading a multi-gigabyte graph a
+//    zero-copy mmap instead of a parse. Copying a Graph shares the backing;
+//    it never duplicates the arrays.
 
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,16 +30,28 @@ using VertexId = uint32_t;
 /// Undirected simple graph, CSR storage, sorted neighbor lists.
 class Graph {
  public:
+  /// Opaque owner of the memory the CSR spans point into. Concrete
+  /// subclasses hold owned vectors (in-memory build) or an mmap'd file
+  /// region (zero-copy snapshot load, graph/format.cpp).
+  struct Backing {
+    virtual ~Backing() = default;
+  };
+
   Graph() = default;
 
-  /// Constructs from CSR arrays. offsets.size() == num_nodes + 1,
+  /// Constructs from owned CSR arrays. offsets.size() == num_nodes + 1,
   /// neighbors.size() == offsets.back() == 2 * NumEdges().
   /// Neighbor ranges must be sorted and free of duplicates/self-loops;
   /// use GraphBuilder to produce such arrays from raw edges.
-  Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors)
-      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
-    assert(!offsets_.empty());
-    assert(offsets_.back() == neighbors_.size());
+  Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors);
+
+  /// Zero-copy construction: the spans must satisfy the same invariants as
+  /// above and stay valid for the lifetime of *backing (which the graph —
+  /// and every copy of it — keeps alive).
+  Graph(std::span<const uint64_t> offsets, std::span<const VertexId> neighbors,
+        std::shared_ptr<const Backing> backing)
+      : backing_(std::move(backing)), offsets_(offsets), neighbors_(neighbors) {
+    assert(offsets_.empty() || offsets_.back() == neighbors_.size());
   }
 
   VertexId NumNodes() const {
@@ -80,9 +99,16 @@ class Graph {
   /// One-line summary "n=<nodes> m=<edges> dmax=<max degree>".
   std::string Summary() const;
 
+  /// Raw CSR arrays, for serialization (graph/format.*) and tests.
+  /// RawOffsets().size() == NumNodes() + 1 (or 0 for a default graph);
+  /// RawNeighbors().size() == 2 * NumEdges().
+  std::span<const uint64_t> RawOffsets() const { return offsets_; }
+  std::span<const VertexId> RawNeighbors() const { return neighbors_; }
+
  private:
-  std::vector<uint64_t> offsets_;
-  std::vector<VertexId> neighbors_;
+  std::shared_ptr<const Backing> backing_;
+  std::span<const uint64_t> offsets_;
+  std::span<const VertexId> neighbors_;
 };
 
 }  // namespace grw

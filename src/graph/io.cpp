@@ -1,7 +1,9 @@
 #include "graph/io.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
@@ -9,11 +11,38 @@
 
 namespace grw {
 
+namespace {
+
+// Malformed input must fail loudly: a silently dropped line or an id from
+// wrapped strtoull output corrupts every downstream estimate in a way no
+// test downstream can attribute to the file. The thrown message carries
+// path, 1-based line number, and the offending line.
+// Closes the stream when a parse error propagates out of LoadEdgeList.
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+[[noreturn]] void BadLine(const std::string& path, uint64_t line_no,
+                          const char* why, const char* s, const char* end) {
+  std::string line(s, static_cast<size_t>(end - s));
+  constexpr size_t kMaxEcho = 60;
+  if (line.size() > kMaxEcho) line = line.substr(0, kMaxEcho) + "...";
+  throw std::runtime_error("LoadEdgeList: " + path + ":" +
+                           std::to_string(line_no) + ": " + why + ": \"" +
+                           line + "\"");
+}
+
+}  // namespace
+
 Graph LoadEdgeList(const std::string& path, bool largest_cc) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw std::runtime_error("LoadEdgeList: cannot open " + path);
   }
+  FileCloser closer{f};
 
   GraphBuilder builder;
   // Buffered manual parse: ~5x faster than iostream on multi-million-edge
@@ -21,15 +50,51 @@ Graph LoadEdgeList(const std::string& path, bool largest_cc) {
   constexpr size_t kBufSize = 1 << 20;
   std::vector<char> buf(kBufSize);
   std::string carry;
-  auto parse_line = [&builder](const char* s, const char* end) {
+  uint64_t line_no = 0;
+  // [s, end) is one line; *end is always '\n' or '\0', so strtoull cannot
+  // scan past the line.
+  auto parse_line = [&](const char* s, const char* end) {
+    ++line_no;
+    const char* const line_start = s;
     while (s < end && std::isspace(static_cast<unsigned char>(*s))) ++s;
     if (s >= end || *s == '#' || *s == '%') return;
+    // strtoull silently wraps negative input ("-5" parses to 2^64-5);
+    // reject signs up front so such ids cannot masquerade as valid.
+    if (*s == '-' || *s == '+') {
+      BadLine(path, line_no, "invalid node id (sign not allowed)", line_start,
+              end);
+    }
     char* next = nullptr;
+    errno = 0;
     const uint64_t u = std::strtoull(s, &next, 10);
-    if (next == s) return;
+    if (next == s) {
+      BadLine(path, line_no, "expected two integer node ids", line_start, end);
+    }
+    if (errno == ERANGE) {
+      BadLine(path, line_no, "node id overflows uint64", line_start, end);
+    }
     s = next;
+    // Skip the full isspace set here: strtoull itself skips \v and \f, so
+    // a narrower skip would let a sign hide behind them and bypass the
+    // check below ("1 \v-2" must throw, not wrap).
+    while (s < end && std::isspace(static_cast<unsigned char>(*s))) ++s;
+    if (s < end && (*s == '-' || *s == '+')) {
+      BadLine(path, line_no, "invalid node id (sign not allowed)", line_start,
+              end);
+    }
+    errno = 0;
     const uint64_t v = std::strtoull(s, &next, 10);
-    if (next == s) return;
+    if (next == s) {
+      BadLine(path, line_no, "expected two integer node ids", line_start, end);
+    }
+    if (errno == ERANGE) {
+      BadLine(path, line_no, "node id overflows uint64", line_start, end);
+    }
+    s = next;
+    while (s < end && std::isspace(static_cast<unsigned char>(*s))) ++s;
+    if (s < end) {
+      BadLine(path, line_no, "trailing garbage after edge", line_start, end);
+    }
     builder.AddEdge(u, v);
   };
 
@@ -50,7 +115,6 @@ Graph LoadEdgeList(const std::string& path, bool largest_cc) {
     }
     carry.append(buf.data() + start, got - start);
   }
-  std::fclose(f);
   if (!carry.empty()) parse_line(carry.data(), carry.data() + carry.size());
 
   if (builder.NumRawEdges() == 0) {

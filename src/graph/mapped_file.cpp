@@ -1,0 +1,74 @@
+#include "graph/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace grw {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("MappedFile: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) ThrowErrno("cannot open", path);
+
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("cannot stat", path);
+  }
+
+  MappedFile mf;
+  mf.size_ = static_cast<size_t>(st.st_size);
+  if (mf.size_ > 0) {
+    void* addr = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      ThrowErrno("cannot mmap", path);
+    }
+    mf.data_ = static_cast<const unsigned char*>(addr);
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+  return mf;
+}
+
+}  // namespace grw

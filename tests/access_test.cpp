@@ -1,0 +1,67 @@
+// Tests for the RestrictedAccess crawling facade, in particular that its
+// API-call counter is exact when one facade is shared across threads (the
+// PR 2 engine runs many chains against one const facade).
+
+#include "graph/access.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+TEST(RestrictedAccessTest, CountsEveryKindOfCall) {
+  const Graph g = KarateClub();
+  RestrictedAccess api(g);
+  EXPECT_EQ(api.ApiCalls(), 0u);
+  (void)api.Degree(0);
+  (void)api.Neighbors(1);
+  Rng rng(1);
+  (void)api.RandomNeighbor(2, rng);
+  (void)api.HasEdge(0, 1);
+  (void)api.NumNodesForSeeding();  // simulation-only; not an API call
+  EXPECT_EQ(api.ApiCalls(), 4u);
+  api.ResetApiCalls();
+  EXPECT_EQ(api.ApiCalls(), 0u);
+}
+
+TEST(RestrictedAccessTest, CounterIsExactUnderConcurrency) {
+  // 8 threads x 40k mixed calls against one shared facade: with the old
+  // non-atomic `mutable uint64_t` counter increments were torn/lost; the
+  // relaxed atomic must account for every single call.
+  const Graph g = KarateClub();
+  const RestrictedAccess api(g);
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kCallsPerThread = 40000;
+  ParallelFor(
+      kThreads,
+      [&](size_t t) {
+        Rng rng(100 + t);
+        const VertexId n = api.NumNodesForSeeding();
+        for (uint64_t i = 0; i < kCallsPerThread; ++i) {
+          const auto v = static_cast<VertexId>(i % n);
+          switch (i % 4) {
+            case 0:
+              (void)api.Degree(v);
+              break;
+            case 1:
+              (void)api.Neighbors(v);
+              break;
+            case 2:
+              (void)api.RandomNeighbor(v, rng);
+              break;
+            default:
+              (void)api.HasEdge(v, static_cast<VertexId>((v + 1) % n));
+              break;
+          }
+        }
+      },
+      kThreads);
+  EXPECT_EQ(api.ApiCalls(), kThreads * kCallsPerThread);
+}
+
+}  // namespace
+}  // namespace grw

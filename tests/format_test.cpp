@@ -1,0 +1,295 @@
+// Tests for the `.grwb` binary snapshot format (graph/format.*), the
+// mmap zero-copy load path, and the degree-descending relabeling pass.
+
+#include "graph/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "exact/exact.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Byte-level span equality of the two CSR arrays.
+void ExpectIdenticalCsr(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.RawOffsets().size(), b.RawOffsets().size());
+  ASSERT_EQ(a.RawNeighbors().size(), b.RawNeighbors().size());
+  for (size_t i = 0; i < a.RawOffsets().size(); ++i) {
+    ASSERT_EQ(a.RawOffsets()[i], b.RawOffsets()[i]) << "offset " << i;
+  }
+  for (size_t i = 0; i < a.RawNeighbors().size(); ++i) {
+    ASSERT_EQ(a.RawNeighbors()[i], b.RawNeighbors()[i]) << "neighbor " << i;
+  }
+}
+
+TEST(FormatTest, RoundTripIsBitIdentical) {
+  // Property over a spread of generated shapes: Build -> Save -> mmap-load
+  // reproduces the exact CSR arrays and summary.
+  Rng rng(11);
+  const std::vector<Graph> graphs = {
+      KarateClub(),
+      Complete(6),
+      Star(40),
+      LargestConnectedComponent(ErdosRenyi(300, 900, rng)),
+      LargestConnectedComponent(BarabasiAlbert(500, 3, rng)),
+      LargestConnectedComponent(HolmeKim(400, 4, 0.4, rng)),
+  };
+  const std::string path = TempPath("grw_format_roundtrip.grwb");
+  for (const Graph& g : graphs) {
+    SaveGraphBinary(g, path);
+    const Graph loaded = LoadGraphBinary(path, /*verify_checksum=*/true);
+    EXPECT_EQ(loaded.Summary(), g.Summary());
+    ExpectIdenticalCsr(g, loaded);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FormatTest, RoundTripEmptyGraph) {
+  const std::string path = TempPath("grw_format_empty.grwb");
+  SaveGraphBinary(Graph(), path);
+  const Graph loaded = LoadGraphBinary(path, /*verify_checksum=*/true);
+  EXPECT_EQ(loaded.NumNodes(), 0u);
+  EXPECT_EQ(loaded.NumEdges(), 0u);
+  EXPECT_EQ(loaded.Summary(), Graph().Summary());
+  std::filesystem::remove(path);
+}
+
+TEST(FormatTest, MmapLoadGivesIdenticalEstimates) {
+  // The acceptance bar: a fixed-seed estimator run must be bit-identical
+  // between the vector-backed and mmap-backed graphs.
+  Rng rng(5);
+  const Graph g = LargestConnectedComponent(HolmeKim(600, 4, 0.3, rng));
+  const std::string path = TempPath("grw_format_estimates.grwb");
+  SaveGraphBinary(g, path);
+  const Graph mapped = LoadGraphBinary(path);
+
+  const EstimatorConfig config{4, 2, true, false};
+  const EstimateResult from_vectors =
+      GraphletEstimator::Estimate(g, config, 20000, 42);
+  const EstimateResult from_mmap =
+      GraphletEstimator::Estimate(mapped, config, 20000, 42);
+  ASSERT_EQ(from_vectors.concentrations.size(),
+            from_mmap.concentrations.size());
+  for (size_t i = 0; i < from_vectors.concentrations.size(); ++i) {
+    EXPECT_EQ(from_vectors.concentrations[i], from_mmap.concentrations[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FormatTest, GraphSharesMappingAcrossCopies) {
+  // Copying a mapped Graph must not copy the arrays: the spans of the
+  // copy point at the same addresses (shared backing keeps them alive).
+  const Graph g = KarateClub();
+  const std::string path = TempPath("grw_format_copy.grwb");
+  SaveGraphBinary(g, path);
+  Graph copy;
+  {
+    const Graph mapped = LoadGraphBinary(path);
+    copy = mapped;
+    EXPECT_EQ(copy.RawNeighbors().data(), mapped.RawNeighbors().data());
+  }
+  // The original mapped Graph is gone; the backing must still be alive.
+  EXPECT_EQ(copy.Summary(), g.Summary());
+  std::filesystem::remove(path);
+}
+
+TEST(FormatTest, InspectReportsHeaderFields) {
+  const Graph g = KarateClub();
+  const std::string path = TempPath("grw_format_inspect.grwb");
+  SaveGraphBinary(g, path, kGrwbFlagDegreeRelabeled);
+  const GrwbInfo info = InspectGraphBinary(path);
+  EXPECT_EQ(info.version, kGrwbVersion);
+  EXPECT_EQ(info.num_nodes, g.NumNodes());
+  EXPECT_EQ(info.num_half_edges, 2 * g.NumEdges());
+  EXPECT_TRUE(info.DegreeRelabeled());
+  EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+  std::filesystem::remove(path);
+}
+
+class FormatCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("grw_format_corrupt.grwb");
+    SaveGraphBinary(KarateClub(), path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  // Overwrites one byte at `offset` with `value`.
+  void Poke(uint64_t offset, unsigned char value) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&value, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+
+  void Truncate(uint64_t bytes) {
+    std::filesystem::resize_file(path_, bytes);
+  }
+
+  std::string path_;
+};
+
+TEST_F(FormatCorruptionTest, RejectsBadMagic) {
+  Poke(0, 'X');
+  EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
+  EXPECT_FALSE(IsGraphBinaryFile(path_));
+}
+
+TEST_F(FormatCorruptionTest, RejectsUnsupportedVersion) {
+  Poke(4, 99);  // version field; header checksum catches it first or not,
+                // either way the load must throw
+  EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, RejectsCorruptedHeaderField) {
+  Poke(8, 0xFF);  // num_nodes low byte: header checksum mismatch
+  EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, RejectsTruncatedFile) {
+  Truncate(std::filesystem::file_size(path_) - 5);
+  EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, RejectsFileShorterThanHeader) {
+  Truncate(10);
+  EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, RejectsForgedHeaderWithOverflowingSizes) {
+  // Adversarial header: num_nodes = 2^61-1 makes (n+1)*8 wrap to 0, which
+  // matched offsets_bytes == 0 before validation became overflow-safe.
+  // The header checksum is forged correctly, so only the size checks can
+  // catch it.
+  struct {
+    uint32_t magic = kGrwbMagic;
+    uint32_t version = kGrwbVersion;
+    uint64_t num_nodes = 0x1FFFFFFFFFFFFFFFull;
+    uint64_t num_half_edges = 0;
+    uint64_t offsets_bytes = 0;
+    uint64_t neighbors_bytes = 0;
+    uint64_t data_checksum = 0;
+    uint32_t flags = 0;
+    uint32_t reserved = 0;
+    uint64_t header_checksum = 0;
+  } header;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&header);
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a, as the writer computes it
+  for (size_t i = 0; i < 56; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  header.header_checksum = h;
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&header, sizeof header, 1, f), 1u);
+  std::fclose(f);
+  EXPECT_THROW(LoadGraphBinary(path_, /*verify_checksum=*/true),
+               std::runtime_error);
+  EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, VerifyRejectsNonMonotoneOffsets) {
+  // Bump a middle offset entry so offsets[v] > offsets[v+1] while the
+  // first/last entries (the lazy spot-check) stay intact: the lazy load
+  // accepts it, the verifying load must not.
+  Poke(64 + 8 + 6, 0x7F);  // high-ish byte of offsets[1]
+  EXPECT_NO_THROW(LoadGraphBinary(path_));
+  EXPECT_THROW(LoadGraphBinary(path_, /*verify_checksum=*/true),
+               std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, VerifyRejectsOutOfRangeNeighborId) {
+  const uint64_t data_start =
+      64 + (uint64_t{KarateClub().NumNodes()} + 1) * 8;
+  Poke(data_start + 2, 0xFF);  // neighbor id becomes >= num_nodes
+  EXPECT_THROW(LoadGraphBinary(path_, /*verify_checksum=*/true),
+               std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, ChecksumCatchesFlippedDataByte) {
+  // Flip a neighbor byte past the offsets array: header still validates,
+  // lazy load succeeds, checksummed load must throw.
+  const uint64_t data_start =
+      64 + (uint64_t{KarateClub().NumNodes()} + 1) * 8;
+  Poke(data_start + 3, 0xAB);
+  EXPECT_THROW(LoadGraphBinary(path_, /*verify_checksum=*/true),
+               std::runtime_error);
+}
+
+TEST(FormatTest, LoadGraphAutoDetectsBothFormats) {
+  Rng rng(3);
+  const Graph g = LargestConnectedComponent(ErdosRenyi(200, 600, rng));
+  const std::string text = TempPath("grw_format_auto.edges");
+  const std::string bin = TempPath("grw_format_auto.grwb");
+  SaveEdgeList(g, text);
+  SaveGraphBinary(g, bin);
+  const Graph from_text = LoadGraph(text, /*largest_cc=*/false);
+  const Graph from_bin = LoadGraph(bin);
+  EXPECT_EQ(from_text.Summary(), g.Summary());
+  EXPECT_EQ(from_bin.Summary(), g.Summary());
+  ExpectIdenticalCsr(from_text, from_bin);
+  std::filesystem::remove(text);
+  std::filesystem::remove(bin);
+}
+
+TEST(RelabelByDegreeTest, ProducesDegreeDescendingOrder) {
+  Rng rng(9);
+  const Graph g = LargestConnectedComponent(BarabasiAlbert(800, 3, rng));
+  const Graph r = RelabelByDegree(g);
+  ASSERT_EQ(r.NumNodes(), g.NumNodes());
+  ASSERT_EQ(r.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v + 1 < r.NumNodes(); ++v) {
+    EXPECT_GE(r.Degree(v), r.Degree(v + 1));
+  }
+  EXPECT_EQ(r.MaxDegree(), g.MaxDegree());
+  EXPECT_EQ(r.WedgeCount(), g.WedgeCount());
+  EXPECT_TRUE(r.IsConnected());
+}
+
+TEST(RelabelByDegreeTest, GraphletCountsAreInvariant) {
+  // Graphlet statistics are label-invariant; the exact counter must agree
+  // before and after relabeling.
+  Rng rng(13);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 4, 0.5, rng));
+  const Graph r = RelabelByDegree(g);
+  for (int k : {3, 4}) {
+    const auto counts_g = ExactGraphletCounts(g, k);
+    const auto counts_r = ExactGraphletCounts(r, k);
+    ASSERT_EQ(counts_g.size(), counts_r.size());
+    for (size_t i = 0; i < counts_g.size(); ++i) {
+      EXPECT_EQ(counts_g[i], counts_r[i]) << "k=" << k << " type " << i;
+    }
+  }
+}
+
+TEST(RelabelByDegreeTest, RoundTripsThroughSnapshot) {
+  Rng rng(17);
+  const Graph g = LargestConnectedComponent(HolmeKim(250, 3, 0.4, rng));
+  const Graph r = RelabelByDegree(g);
+  const std::string path = TempPath("grw_format_relabel.grwb");
+  SaveGraphBinary(r, path, kGrwbFlagDegreeRelabeled);
+  const Graph loaded = LoadGraphBinary(path, /*verify_checksum=*/true);
+  ExpectIdenticalCsr(r, loaded);
+  EXPECT_TRUE(InspectGraphBinary(path).DegreeRelabeled());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace grw

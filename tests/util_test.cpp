@@ -189,6 +189,45 @@ TEST(ParallelTest, ThreadCapBeyondElementCount) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelSortTest, MatchesStdSortAtAnyThreadCount) {
+  // Above the serial cutoff with duplicates, across thread counts that
+  // exercise the even, odd, and degenerate merge trees.
+  Rng rng(123);
+  std::vector<uint64_t> base(200000);
+  for (auto& v : base) v = rng.UniformInt(5000);
+  std::vector<uint64_t> expected = base;
+  std::sort(expected.begin(), expected.end());
+  for (unsigned threads : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    std::vector<uint64_t> got = base;
+    ParallelSort(got, threads);
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSortTest, SmallAndEmptyInputs) {
+  std::vector<int> empty;
+  ParallelSort(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> small = {5, 3, 9, 1, 1};
+  ParallelSort(small, 8);
+  EXPECT_EQ(small, (std::vector<int>{1, 1, 3, 5, 9}));
+}
+
+TEST(ParallelSortTest, SortsPairsLexicographically) {
+  // The builder sorts (node, neighbor) half-edge pairs; ordering must be
+  // the std::pair lexicographic one.
+  Rng rng(7);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs(100000);
+  for (auto& p : pairs) {
+    p = {static_cast<uint32_t>(rng.UniformInt(300)),
+         static_cast<uint32_t>(rng.UniformInt(300))};
+  }
+  auto expected = pairs;
+  std::sort(expected.begin(), expected.end());
+  ParallelSort(pairs);
+  EXPECT_EQ(pairs, expected);
+}
+
 TEST(StatsTest, ChiSquareStatisticMatchesHandComputation) {
   // obs {12, 8}, exp {10, 10}: (2^2 + 2^2) / 10 = 0.8.
   EXPECT_DOUBLE_EQ(ChiSquareStatistic({12.0, 8.0}, {10.0, 10.0}), 0.8);
