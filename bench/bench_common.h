@@ -6,19 +6,25 @@
 //   --scale S     dataset scale factor in (0, 1]
 //   --paper       run at published scale (1,000 sims etc.)
 //   --csv PATH    mirror the main table to a CSV file
+//   --json PATH   write machine-readable results (the BENCH_*.json perf
+//                 trajectory format: one object with a flat metric list)
 //   --graph PATH  replace the synthetic datasets with a real graph file
 //                 (text edge list or .grwb binary snapshot, auto-detected;
 //                 convert once with `grw convert` so repeated bench runs
 //                 mmap the CSR instead of re-parsing text)
+//   --no-index    skip attaching the AdjacencyIndex to loaded graphs
+//                 (results are bit-identical either way; only speed moves)
 
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "eval/datasets.h"
 #include "eval/ground_truth.h"
+#include "graph/adjacency.h"
 #include "graph/format.h"
 #include "graph/graph.h"
 #include "util/flags.h"
@@ -39,11 +45,16 @@ inline std::vector<BenchGraph> LoadBenchGraphs(const Flags& flags,
                                                DatasetTier max_tier,
                                                double default_scale = 1.0) {
   std::vector<BenchGraph> graphs;
+  // Every HasEdge on the bench hot paths routes through the adjacency
+  // acceleration index; --no-index reverts to plain binary search
+  // (identical results, for A/B timing).
+  const bool attach_index = !flags.GetBool("no-index");
   const std::string path = flags.GetString("graph", "");
   if (!path.empty()) {
     BenchGraph bg;
     bg.name = path;
     bg.graph = LoadGraph(path);
+    if (attach_index) bg.graph.BuildAdjacencyIndex();
     // Real files get a key derived from their shape.
     bg.cache_key = "file_n" + std::to_string(bg.graph.NumNodes()) + "_m" +
                    std::to_string(bg.graph.NumEdges());
@@ -55,6 +66,7 @@ inline std::vector<BenchGraph> LoadBenchGraphs(const Flags& flags,
     BenchGraph bg;
     bg.name = name;
     bg.graph = MakeDatasetByName(name, scale);
+    if (attach_index) bg.graph.BuildAdjacencyIndex();
     bg.cache_key = DatasetCacheKey(name, scale);
     std::fprintf(stderr, "[bench] %s: %s\n", name.c_str(),
                  bg.graph.Summary().c_str());
@@ -80,6 +92,85 @@ inline void MaybeWriteCsv(const Flags& flags, const Table& table) {
     } else {
       std::fprintf(stderr, "failed to write %s\n", csv.c_str());
     }
+  }
+}
+
+/// One machine-readable benchmark metric.
+struct JsonMetric {
+  std::string name;   // snake_case metric id, stable across PRs
+  double value = 0.0;
+  std::string unit;   // e.g. "ns/query", "steps/s", "x"
+};
+
+/// Writes the standardized benchmark JSON: a single object with the bench
+/// id, free-form context (graph summary etc.) and a flat metric list.
+/// This is the format of the repo-root BENCH_*.json perf-trajectory files;
+/// keeping metric names stable lets successive PRs be diffed/plotted.
+inline bool WriteBenchJson(const std::string& path, const std::string& bench,
+                           const std::string& context,
+                           const std::vector<JsonMetric>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"':
+        case '\\':
+          out += '\\';
+          out += c;
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          // Remaining control characters would need \u00XX escapes;
+          // metric/context strings never contain them, so drop to keep
+          // the output parseable no matter what.
+          if (static_cast<unsigned char>(c) >= 0x20) out += c;
+      }
+    }
+    return out;
+  };
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"context\": \"%s\",\n"
+               "  \"metrics\": [\n",
+               escape(bench).c_str(), escape(context).c_str());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    // inf/nan are not valid JSON numbers; emit null so a division blowup
+    // in one metric cannot make the whole trajectory file unparseable.
+    char value[40];
+    if (std::isfinite(metrics[i].value)) {
+      std::snprintf(value, sizeof(value), "%.6g", metrics[i].value);
+    } else {
+      std::snprintf(value, sizeof(value), "null");
+    }
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %s, "
+                 "\"unit\": \"%s\"}%s\n",
+                 escape(metrics[i].name).c_str(), value,
+                 escape(metrics[i].unit).c_str(),
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Writes the JSON mirror if --json was given.
+inline void MaybeWriteJson(const Flags& flags, const std::string& bench,
+                           const std::string& context,
+                           const std::vector<JsonMetric>& metrics) {
+  const std::string path = flags.GetString("json", "");
+  if (path.empty()) return;
+  if (WriteBenchJson(path, bench, context, metrics)) {
+    std::printf("json written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
   }
 }
 

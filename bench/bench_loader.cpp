@@ -21,6 +21,7 @@
 //   --check-speedup X  exit 1 unless text / (mmap+touch) >= X  (CI smoke)
 //   --keep             keep the generated files
 //   --csv PATH         mirror the table to CSV
+//   --json PATH        machine-readable results (BENCH_*.json format)
 //
 // Used as a Release-mode CI smoke test with --check-speedup 5, which also
 // exercises the mmap path under optimizations.
@@ -30,6 +31,7 @@
 #include <filesystem>
 #include <string>
 
+#include "bench_common.h"
 #include "graph/format.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -133,6 +135,14 @@ int main(int argc, char** argv) {
   add("grwb mmap + touch all pages", touch_s);
   add("grwb mmap + full checksum", verify_s);
   table.Print();
+  grw::bench::MaybeWriteCsv(flags, table);
+  grw::bench::MaybeWriteJson(
+      flags, "loader", g.Summary(),
+      {{"text_parse_s", text_s, "s"},
+       {"grwb_lazy_s", lazy_s, "s"},
+       {"grwb_touch_s", touch_s, "s"},
+       {"grwb_checksum_s", verify_s, "s"},
+       {"touch_speedup_vs_text", text_s / touch_s, "x"}});
 
   if (!flags.GetBool("keep")) {
     std::error_code ec;

@@ -18,6 +18,17 @@ const grw::Graph& BenchGraph() {
   return g;
 }
 
+// Same graph with the adjacency acceleration index attached: walks/
+// estimators produce bit-identical trajectories on it, only faster.
+const grw::Graph& IndexedBenchGraph() {
+  static const grw::Graph g = [] {
+    grw::Graph indexed = BenchGraph();
+    indexed.BuildAdjacencyIndex();
+    return indexed;
+  }();
+  return g;
+}
+
 void BM_NodeWalkStep(benchmark::State& state) {
   const grw::Graph& g = BenchGraph();
   grw::NodeWalk walk(g, state.range(0) != 0);
@@ -42,8 +53,12 @@ void BM_EdgeWalkStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EdgeWalkStep)->Arg(0)->Arg(1);
 
+// Args: {d, indexed}. The indexed variant is the end-to-end SRW3/SRW4
+// steps/sec number with the AdjacencyIndex on (same RNG stream, same
+// trajectory — only the per-step enumeration cost moves).
 void BM_SubgraphWalkStep(benchmark::State& state) {
-  const grw::Graph& g = BenchGraph();
+  const grw::Graph& g =
+      state.range(1) != 0 ? IndexedBenchGraph() : BenchGraph();
   grw::SubgraphWalk walk(g, static_cast<int>(state.range(0)));
   grw::Rng rng(3);
   walk.Reset(rng);
@@ -51,11 +66,19 @@ void BM_SubgraphWalkStep(benchmark::State& state) {
     walk.Step(rng);
     benchmark::DoNotOptimize(walk.Nodes().data());
   }
+  state.SetLabel(std::string("SRW") + std::to_string(state.range(0)) +
+                 (state.range(1) != 0 ? " indexed" : " binary-search"));
 }
-BENCHMARK(BM_SubgraphWalkStep)->Arg(3)->Arg(4);
+BENCHMARK(BM_SubgraphWalkStep)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
 
+// Args: {k, d, css, indexed}.
 void BM_EstimatorStep(benchmark::State& state) {
-  const grw::Graph& g = BenchGraph();
+  const grw::Graph& g =
+      state.range(3) != 0 ? IndexedBenchGraph() : BenchGraph();
   grw::EstimatorConfig config;
   config.k = static_cast<int>(state.range(0));
   config.d = static_cast<int>(state.range(1));
@@ -65,17 +88,22 @@ void BM_EstimatorStep(benchmark::State& state) {
   for (auto _ : state) {
     estimator.Run(1);
   }
-  state.SetLabel(config.Name() + " k=" + std::to_string(config.k));
+  state.SetLabel(config.Name() + " k=" + std::to_string(config.k) +
+                 (state.range(3) != 0 ? " indexed" : ""));
 }
 BENCHMARK(BM_EstimatorStep)
-    ->Args({3, 1, 0})
-    ->Args({3, 1, 1})
-    ->Args({4, 2, 0})
-    ->Args({4, 2, 1})
-    ->Args({4, 3, 0})
-    ->Args({5, 2, 0})
-    ->Args({5, 2, 1})
-    ->Args({5, 4, 0});
+    ->Args({3, 1, 0, 0})
+    ->Args({3, 1, 1, 0})
+    ->Args({4, 2, 0, 0})
+    ->Args({4, 2, 0, 1})
+    ->Args({4, 2, 1, 0})
+    ->Args({4, 2, 1, 1})
+    ->Args({4, 3, 0, 0})
+    ->Args({4, 3, 0, 1})
+    ->Args({5, 2, 0, 0})
+    ->Args({5, 2, 1, 0})
+    ->Args({5, 4, 0, 0})
+    ->Args({5, 4, 0, 1});
 
 }  // namespace
 

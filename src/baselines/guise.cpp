@@ -56,7 +56,6 @@ void Guise::PopulateNeighbors(const std::vector<VertexId>& nodes) {
   neighbors_.clear();
   neighbor_offsets_.clear();
   const int t = static_cast<int>(nodes.size());
-  std::vector<VertexId> candidate;
 
   auto emit = [this](const std::vector<VertexId>& state) {
     neighbor_offsets_.push_back(static_cast<uint32_t>(neighbors_.size()));
@@ -67,47 +66,48 @@ void Guise::PopulateNeighbors(const std::vector<VertexId>& nodes) {
   // connected.
   if (t > kMinSize) {
     for (int omit = 0; omit < t; ++omit) {
-      candidate.clear();
+      candidate_.clear();
       for (int i = 0; i < t; ++i) {
-        if (i != omit) candidate.push_back(nodes[i]);
+        if (i != omit) candidate_.push_back(nodes[i]);
       }
-      if (InducedSubgraphConnected(*g_, candidate)) emit(candidate);
+      if (InducedSubgraphConnected(*g_, candidate_)) emit(candidate_);
     }
   }
 
   // Distinct external neighbors of the subgraph.
-  std::vector<VertexId> frontier;
+  frontier_.clear();
   for (VertexId v : nodes) {
     for (VertexId w : g_->Neighbors(v)) {
       if (std::find(nodes.begin(), nodes.end(), w) == nodes.end()) {
-        frontier.push_back(w);
+        frontier_.push_back(w);
       }
     }
   }
-  std::sort(frontier.begin(), frontier.end());
-  frontier.erase(std::unique(frontier.begin(), frontier.end()),
-                 frontier.end());
+  std::sort(frontier_.begin(), frontier_.end());
+  frontier_.erase(std::unique(frontier_.begin(), frontier_.end()),
+                  frontier_.end());
 
   // Additions (t < kMaxSize): adjoin any external neighbor.
   if (t < kMaxSize) {
-    for (VertexId w : frontier) {
-      candidate.resize(t + 1);
-      std::merge(nodes.begin(), nodes.end(), &w, &w + 1, candidate.begin());
-      emit(candidate);
+    for (VertexId w : frontier_) {
+      candidate_.resize(t + 1);
+      std::merge(nodes.begin(), nodes.end(), &w, &w + 1, candidate_.begin());
+      emit(candidate_);
     }
   }
 
   // Swaps: replace one vertex by an external neighbor of the remainder.
-  std::vector<VertexId> base(t - 1);
+  swap_base_.resize(t - 1);
   for (int omit = 0; omit < t; ++omit) {
     for (int i = 0, j = 0; i < t; ++i) {
-      if (i != omit) base[j++] = nodes[i];
+      if (i != omit) swap_base_[j++] = nodes[i];
     }
-    for (VertexId w : frontier) {
+    for (VertexId w : frontier_) {
       // w adjacent to the base (not merely to the omitted vertex)?
-      candidate.resize(t);
-      std::merge(base.begin(), base.end(), &w, &w + 1, candidate.begin());
-      if (InducedSubgraphConnected(*g_, candidate)) emit(candidate);
+      candidate_.resize(t);
+      std::merge(swap_base_.begin(), swap_base_.end(), &w, &w + 1,
+                 candidate_.begin());
+      if (InducedSubgraphConnected(*g_, candidate_)) emit(candidate_);
     }
   }
   neighbor_offsets_.push_back(static_cast<uint32_t>(neighbors_.size()));

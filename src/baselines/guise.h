@@ -64,6 +64,11 @@ class Guise {
   std::vector<VertexId> current_;
   std::vector<VertexId> neighbors_;        // flattened, variable stride
   std::vector<uint32_t> neighbor_offsets_;  // start of each neighbor
+  // PopulateNeighbors workspace, hoisted so the per-step hot path stays
+  // allocation-free once the vectors reach their high-water capacity.
+  std::vector<VertexId> candidate_;
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> swap_base_;
   uint64_t steps_ = 0;
   uint64_t accepted_ = 0;
   std::vector<uint64_t> counts3_;

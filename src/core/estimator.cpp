@@ -113,7 +113,7 @@ double GraphletEstimator::SampleWeight(const MaskInfo& info) const {
     // CSS, d >= 3: direct Algorithm-3 evaluation with per-state G(d)
     // degree probes (expensive — the paper's "SRW3CSS" caveat).
     const auto probe = [this](std::span<const VertexId> state) {
-      return SubgraphStateDegree(*g_, state);
+      return SubgraphStateDegree(*g_, state, gd_scratch_);
     };
     return 1.0 / CssWeightDirect(config_.k, config_.d, info,
                                  window_.UnionNodes(), probe, config_.nb);

@@ -30,6 +30,7 @@
 #include "graph/graph.h"
 #include "graphlet/classifier.h"
 #include "util/rng.h"
+#include "walk/subgraph_walk.h"
 #include "walk/walker.h"
 
 namespace grw {
@@ -139,6 +140,9 @@ class GraphletEstimator {
   std::unique_ptr<StateWalker> walker_;
   SampleWindow window_;
   Rng rng_;
+  // Reused by the CSS d >= 3 degree probes (SampleWeight is const but the
+  // scratch is pure workspace — no observable state).
+  mutable GdScratch gd_scratch_;
 
   std::vector<double> weights_;
   std::vector<uint64_t> samples_;

@@ -18,10 +18,11 @@ uint64_t RelationshipEdgeCount(const Graph& g, int d) {
   // General case: sum of G(d) state degrees over all of H(d), halved.
   uint64_t degree_sum = 0;
   std::vector<VertexId> sorted;
+  GdScratch scratch;  // reused across the whole enumeration
   ForEachConnectedSubgraph(g, d, [&](std::span<const VertexId> nodes) {
     sorted.assign(nodes.begin(), nodes.end());
     std::sort(sorted.begin(), sorted.end());
-    degree_sum += SubgraphStateDegree(g, sorted);
+    degree_sum += SubgraphStateDegree(g, sorted, scratch);
   });
   return degree_sum / 2;
 }

@@ -3,9 +3,12 @@
 //
 // Paper Section 5 ("Identify Graphlet Types"): because consecutive states
 // share d-1 nodes, at most one vertex enters the union per step, so its
-// adjacency against the <= k-1 retained vertices costs k-1 binary searches
-// — versus C(k,2) for rebuilding from scratch. Both paths are implemented;
-// tests assert they agree and the micro bench measures the gap.
+// adjacency against the <= k-1 retained vertices costs k-1 edge queries —
+// versus C(k,2) for rebuilding from scratch. Both paths are implemented;
+// tests assert they agree and the micro bench measures the gap. Each
+// query goes through Graph::HasEdge, so attaching an AdjacencyIndex
+// (graph/adjacency.h) turns the per-step maintenance into k-1 O(1)-ish
+// probes without touching this code.
 //
 // The window also snapshots each state's G(d)-degree (provided by the
 // caller as states are pushed) because the expanded-chain weight of a

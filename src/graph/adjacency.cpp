@@ -1,0 +1,105 @@
+#include "graph/adjacency.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace grw {
+
+AdjacencyIndex::AdjacencyIndex(const Graph& g,
+                               const AdjacencyIndexOptions& options)
+    : backing_(g.backing()),
+      offsets_(g.RawOffsets().data()),
+      neighbors_(g.RawNeighbors().data()),
+      linear_cutoff_(options.linear_cutoff) {
+  const VertexId n = g.NumNodes();
+  signatures_.assign(n, 0);
+  hub_slot_.assign(n, kNoHub);
+  if (n == 0) return;
+
+  // Signatures: each node's filter depends only on its own neighbor list,
+  // so the fan-out is race-free and the result identical at any thread
+  // count.
+  ParallelFor(
+      n,
+      [&](size_t v) {
+        uint64_t sig = 0;
+        for (VertexId w : g.Neighbors(static_cast<VertexId>(v))) {
+          sig |= SignatureBit(w);
+        }
+        signatures_[v] = sig;
+      },
+      options.threads);
+
+  // Hub selection: from the degree histogram, the smallest threshold t
+  // (starting at the explicit threshold or min_hub_degree) whose rows
+  // {v : deg(v) >= t} fit the memory budget. Raising t only sheds the
+  // lowest-degree hubs, so the fit is monotone.
+  row_words_ = (static_cast<size_t>(n) + 63) / 64;
+  const uint64_t row_bytes = row_words_ * sizeof(uint64_t);
+  const uint32_t max_degree = g.MaxDegree();
+  std::vector<uint64_t> ge(static_cast<size_t>(max_degree) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ge[Degree(v)]++;
+  for (uint32_t d = max_degree; d > 0; --d) ge[d - 1] += ge[d];
+  uint64_t threshold = options.hub_degree_threshold > 0
+                           ? options.hub_degree_threshold
+                           : options.min_hub_degree;
+  threshold = std::max<uint64_t>(threshold, 1);
+  while (threshold <= max_degree &&
+         ge[threshold] * row_bytes > options.hub_memory_budget) {
+    ++threshold;
+  }
+  if (threshold > max_degree) return;  // nothing qualifies: no hub rows
+
+  hub_threshold_ = static_cast<uint32_t>(threshold);
+  std::vector<VertexId> hubs;
+  hubs.reserve(ge[threshold]);
+  for (VertexId v = 0; v < n; ++v) {
+    if (Degree(v) >= hub_threshold_) {
+      hub_slot_[v] = static_cast<uint32_t>(hubs.size());
+      hubs.push_back(v);
+    }
+  }
+  num_hubs_ = static_cast<uint32_t>(hubs.size());
+
+  // Row fill: rows are disjoint slices of bits_, one per hub.
+  bits_.assign(static_cast<size_t>(num_hubs_) * row_words_, 0);
+  ParallelFor(
+      hubs.size(),
+      [&](size_t slot) {
+        uint64_t* row = bits_.data() + slot * row_words_;
+        for (VertexId w : g.Neighbors(hubs[slot])) {
+          row[w >> 6] |= 1ull << (w & 63);
+        }
+      },
+      options.threads);
+}
+
+bool AdjacencyIndex::ListContains(VertexId u, VertexId v) const {
+  const uint64_t begin = offsets_[u];
+  const size_t len = static_cast<size_t>(offsets_[u + 1] - begin);
+  const VertexId* list = neighbors_ + begin;
+  if (len <= linear_cutoff_) {
+    // Short sorted lists: sequential compare with early exit beats any
+    // probing — the whole list is one or two cache lines.
+    for (size_t i = 0; i < len; ++i) {
+      if (list[i] >= v) return list[i] == v;
+    }
+    return false;
+  }
+  // Galloping: double the probe distance until the window [hi/2, hi)
+  // brackets v, then finish with a branchless (conditional-move) binary
+  // search over that window.
+  size_t hi = 1;
+  while (hi < len && list[hi - 1] < v) hi <<= 1;
+  const VertexId* base = list + (hi >> 1);
+  size_t span = std::min(hi, len) - (hi >> 1);
+  while (span > 1) {
+    const size_t half = span / 2;
+    base += (base[half - 1] < v) ? half : 0;
+    span -= half;
+  }
+  return *base == v;
+}
+
+}  // namespace grw

@@ -1,0 +1,144 @@
+// Adjacency acceleration index: near-free edge-existence queries.
+//
+// Every random-walk step is dominated by HasEdge probes — the sliding
+// sample window issues k-1 per step (paper Section 5) and the G(d) walk's
+// neighbor enumeration issues O(d^2 |E|/|V|) of them. A plain CSR answers
+// each probe with a binary search over the smaller endpoint's neighbor
+// list; this index layers three structures on top of the (unmodified) CSR
+// so most probes never touch the list at all:
+//
+//   1. Hub bitsets — dense one-bit-per-node rows for the highest-degree
+//      vertices ("hubs", degree >= threshold), under a configurable memory
+//      budget. A probe whose larger endpoint is a hub is a single bit
+//      test, O(1). Degree-skewed graphs concentrate walk traffic on hubs,
+//      so a few rows absorb most of the expensive probes.
+//   2. Neighbor signatures — a per-node 64-bit Bloom-style fingerprint of
+//      the neighbor set. A probe whose fingerprint bit is clear is a
+//      certain miss, answered without touching the neighbor list; only
+//      signature hits fall through to the list search. Miss-heavy
+//      workloads (the common case: most candidate pairs are non-edges)
+//      short-circuit here.
+//   3. Hybrid list search — linear scan below a small cutoff (short lists
+//      fit in one or two cache lines, where branch-free sequential
+//      compares beat log-time probing) and branchless galloping search
+//      (exponential range narrowing + conditional-move binary search)
+//      above it.
+//
+// The index is an overlay: it stores no adjacency of its own beyond the
+// bitset rows, keeps the CSR's lowest-degree-endpoint probe orientation,
+// and returns bit-identical answers to Graph::HasEdgeBinarySearch. Attach
+// one via Graph::BuildAdjacencyIndex() and every HasEdge caller — sample
+// window, G(d) enumeration, clustering metrics, baselines, exact counters
+// — routes through it transparently. Construction is a deterministic
+// parallel pass over the CSR (same index at any thread count).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grw {
+
+/// Tuning knobs for AdjacencyIndex construction.
+struct AdjacencyIndexOptions {
+  /// Vertices with degree >= this get a dense bitset row. 0 = choose the
+  /// smallest threshold (>= min_hub_degree) whose rows fit the budget.
+  /// An explicit value is a starting point, not a promise: it is still
+  /// raised as far as hub_memory_budget requires (never lowered). Check
+  /// AdjacencyIndex::hub_threshold() for the effective value.
+  uint32_t hub_degree_threshold = 0;
+  /// Upper bound on total bitset-row memory. Rows are n bits each, so the
+  /// default 64 MiB holds ~500 hub rows on a 1M-node graph.
+  uint64_t hub_memory_budget = 64ull << 20;
+  /// Never spend a bitset row on a vertex below this degree, no matter how
+  /// roomy the budget: a short sorted list is already fast to search.
+  uint32_t min_hub_degree = 64;
+  /// Neighbor lists shorter than this are scanned linearly instead of
+  /// galloping-searched.
+  uint32_t linear_cutoff = 16;
+  /// Worker threads for construction; 0 = HardwareThreads().
+  unsigned threads = 0;
+};
+
+/// Immutable acceleration overlay for one Graph. Thread-safe to query
+/// concurrently; build once before sharing (Graph::BuildAdjacencyIndex).
+class AdjacencyIndex {
+ public:
+  AdjacencyIndex(const Graph& g, const AdjacencyIndexOptions& options = {});
+
+  /// Same contract and result as Graph::HasEdgeBinarySearch, faster.
+  /// Requires u, v < NumNodes() and u != v (Graph::HasEdge pre-checks).
+  bool HasEdge(VertexId u, VertexId v) const {
+    // One-load Bloom reject, before even looking at degrees: a clear bit
+    // proves the edge is absent (the bit was set for every real neighbor
+    // at build time, so there are no false negatives). Most non-edge
+    // probes — the dominant query shape on sparse graphs — finish here
+    // having touched exactly one cache line.
+    if (!(signatures_[u] & SignatureBit(v))) return false;
+    // Keep the CSR's orientation: resolve against the lower-degree
+    // endpoint's list, so u ends up on the small side and v on the large.
+    if (Degree(u) > Degree(v)) {
+      const VertexId t = u;
+      u = v;
+      v = t;
+    }
+    const uint32_t slot = hub_slot_[v];
+    if (slot != kNoHub) {
+      // O(1): one bit test in the hub's dense row.
+      return (bits_[static_cast<size_t>(slot) * row_words_ + (u >> 6)] >>
+              (u & 63)) &
+             1u;
+    }
+    // Small-side filter (a different, more selective fingerprint when the
+    // swap above fired; the already-cached line otherwise), then the
+    // exact hybrid search.
+    if (!(signatures_[u] & SignatureBit(v))) return false;
+    return ListContains(u, v);
+  }
+
+  /// True iff v has a dense bitset row.
+  bool IsHub(VertexId v) const { return hub_slot_[v] != kNoHub; }
+
+  /// The effective hub degree threshold (after budget fitting);
+  /// 0 when the graph has no hubs.
+  uint32_t hub_threshold() const { return hub_threshold_; }
+  uint32_t num_hubs() const { return num_hubs_; }
+  uint64_t bitset_bytes() const { return bits_.size() * sizeof(uint64_t); }
+  uint64_t signature_bytes() const {
+    return signatures_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  static constexpr uint32_t kNoHub = 0xFFFFFFFFu;
+
+  static uint64_t SignatureBit(VertexId v) {
+    // Multiplicative (Fibonacci) hash into one of 64 bits; the high bits
+    // of the product are well mixed even for dense sequential ids.
+    return 1ull << ((v * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  bool ListContains(VertexId u, VertexId v) const;
+
+  // CSR views (shared with the graph; backing_ keeps them alive even if
+  // the original Graph object is destroyed).
+  std::shared_ptr<const Graph::Backing> backing_;
+  const uint64_t* offsets_ = nullptr;
+  const VertexId* neighbors_ = nullptr;
+
+  std::vector<uint64_t> signatures_;  // one 64-bit Bloom filter per node
+  std::vector<uint32_t> hub_slot_;    // node -> bitset row slot, or kNoHub
+  std::vector<uint64_t> bits_;        // num_hubs_ rows of row_words_ words
+  size_t row_words_ = 0;
+  uint32_t hub_threshold_ = 0;
+  uint32_t num_hubs_ = 0;
+  uint32_t linear_cutoff_ = 16;
+};
+
+}  // namespace grw

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "graph/adjacency.h"
+
 namespace grw {
 
 namespace {
@@ -26,19 +28,36 @@ Graph::Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors) {
   offsets_ = backing->offsets;
   neighbors_ = backing->neighbors;
   backing_ = std::move(backing);
+  max_degree_ = std::make_shared<std::atomic<uint32_t>>(kUnknownDegree);
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   if (u >= NumNodes() || v >= NumNodes() || u == v) return false;
-  // Search the smaller adjacency list.
+  if (index_) return index_->HasEdge(u, v);
+  return HasEdgeBinarySearch(u, v);
+}
+
+bool Graph::HasEdgeBinarySearch(VertexId u, VertexId v) const {
+  if (u >= NumNodes() || v >= NumNodes() || u == v) return false;
   if (Degree(u) > Degree(v)) std::swap(u, v);
   const auto nbrs = Neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+void Graph::BuildAdjacencyIndex() { BuildAdjacencyIndex({}); }
+
+void Graph::BuildAdjacencyIndex(const AdjacencyIndexOptions& options) {
+  index_ = std::make_shared<AdjacencyIndex>(*this, options);
+}
+
 uint32_t Graph::MaxDegree() const {
+  if (max_degree_) {
+    const uint32_t cached = max_degree_->load(std::memory_order_relaxed);
+    if (cached != kUnknownDegree) return cached;
+  }
   uint32_t best = 0;
   for (VertexId v = 0; v < NumNodes(); ++v) best = std::max(best, Degree(v));
+  if (max_degree_) max_degree_->store(best, std::memory_order_relaxed);
   return best;
 }
 

@@ -3,7 +3,10 @@
 // This is the substrate every other module walks on. Design points:
 //  * Adjacency lists are sorted, so HasEdge is a binary search — the
 //    estimator's incremental sample-window maintenance (paper Section 5)
-//    performs k-1 such searches per random-walk step.
+//    performs k-1 such searches per random-walk step. Attaching an
+//    AdjacencyIndex (graph/adjacency.h) upgrades HasEdge to O(1) hub
+//    bitset tests and signature-filtered hybrid searches without changing
+//    any result.
 //  * The structure is immutable after construction; all samplers share one
 //    const Graph& across threads without synchronization.
 //  * Node ids are dense uint32_t in [0, NumNodes()).
@@ -16,6 +19,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -26,6 +30,9 @@
 namespace grw {
 
 using VertexId = uint32_t;
+
+class AdjacencyIndex;
+struct AdjacencyIndexOptions;
 
 /// Undirected simple graph, CSR storage, sorted neighbor lists.
 class Graph {
@@ -50,7 +57,10 @@ class Graph {
   /// and every copy of it — keeps alive).
   Graph(std::span<const uint64_t> offsets, std::span<const VertexId> neighbors,
         std::shared_ptr<const Backing> backing)
-      : backing_(std::move(backing)), offsets_(offsets), neighbors_(neighbors) {
+      : backing_(std::move(backing)),
+        offsets_(offsets),
+        neighbors_(neighbors),
+        max_degree_(std::make_shared<std::atomic<uint32_t>>(kUnknownDegree)) {
     assert(offsets_.empty() || offsets_.back() == neighbors_.size());
   }
 
@@ -79,10 +89,36 @@ class Graph {
     return neighbors_[offsets_[v] + i];
   }
 
-  /// True iff the undirected edge (u, v) exists. O(log Degree(min-side)).
+  /// True iff the undirected edge (u, v) exists. Routes through the
+  /// attached AdjacencyIndex when one exists (O(1) for hub endpoints,
+  /// signature-filtered hybrid search otherwise); falls back to a binary
+  /// search over the lower-degree endpoint's list. Both paths return
+  /// identical results for every input.
   bool HasEdge(VertexId u, VertexId v) const;
 
-  /// Maximum degree over all nodes. O(n).
+  /// The index-free reference path: binary search over the lower-degree
+  /// endpoint's sorted list, O(log Degree(min-side)). Used by the
+  /// equivalence property tests and the HasEdge micro bench baseline.
+  bool HasEdgeBinarySearch(VertexId u, VertexId v) const;
+
+  /// Builds and attaches an AdjacencyIndex (graph/adjacency.h) so every
+  /// HasEdge caller takes the accelerated path. Call before sharing the
+  /// graph across threads; copies made afterwards share the index.
+  /// Attaching never changes any query result, only its cost.
+  void BuildAdjacencyIndex();
+  void BuildAdjacencyIndex(const AdjacencyIndexOptions& options);
+
+  /// The attached acceleration index, or nullptr. (Stats reporting and
+  /// tests; queries should just call HasEdge.)
+  const AdjacencyIndex* adjacency_index() const { return index_.get(); }
+
+  /// Shares the CSR storage owner (nullptr for a default-constructed
+  /// graph). The AdjacencyIndex holds this so its CSR views outlive any
+  /// particular Graph copy.
+  std::shared_ptr<const Backing> backing() const { return backing_; }
+
+  /// Maximum degree over all nodes. O(n) on first call, then cached
+  /// (copies of the graph share the cache).
   uint32_t MaxDegree() const;
 
   /// Sum over nodes of Degree(v)^2; used by |R(2)| and wedge counting.
@@ -106,9 +142,15 @@ class Graph {
   std::span<const VertexId> RawNeighbors() const { return neighbors_; }
 
  private:
+  static constexpr uint32_t kUnknownDegree = 0xFFFFFFFFu;
+
   std::shared_ptr<const Backing> backing_;
   std::span<const uint64_t> offsets_;
   std::span<const VertexId> neighbors_;
+  std::shared_ptr<const AdjacencyIndex> index_;
+  // Lazily computed MaxDegree(), shared by all copies of this graph. A
+  // benign race (two threads computing the same value) is the worst case.
+  std::shared_ptr<std::atomic<uint32_t>> max_degree_;
 };
 
 }  // namespace grw

@@ -62,6 +62,9 @@ double DegreeAssortativity(const Graph& g) {
 }
 
 double AverageLocalClustering(const Graph& g) {
+  // C(d_v, 2) HasEdge probes per node; on a graph with an attached
+  // AdjacencyIndex the hub rows absorb exactly the pairs that make this
+  // O(sum d_v^2 log d) scan painful on skewed graphs.
   double total = 0.0;
   uint64_t eligible = 0;
   for (VertexId v = 0; v < g.NumNodes(); ++v) {

@@ -1,43 +1,90 @@
 #include "walk/subgraph_walk.h"
 
+#include <bit>
 #include <cassert>
 
 namespace grw {
+
+namespace {
+
+// Connectivity over an n-node (n <= 32) adjacency given as per-node
+// neighbor bitmasks: bitset BFS from node 0, no edge queries.
+bool MaskRowsConnected(const uint32_t* rows, int n) {
+  const uint32_t all = n >= 32 ? ~0u : (1u << n) - 1u;
+  uint32_t visited = 1u;
+  uint32_t frontier = 1u;
+  while (frontier != 0 && visited != all) {
+    uint32_t reach = 0;
+    while (frontier != 0) {
+      reach |= rows[std::countr_zero(frontier)];
+      frontier &= frontier - 1;
+    }
+    frontier = reach & ~visited;
+    visited |= frontier;
+  }
+  return visited == all;
+}
+
+}  // namespace
 
 bool InducedSubgraphConnected(const Graph& g,
                               std::span<const VertexId> nodes) {
   const int n = static_cast<int>(nodes.size());
   if (n <= 1) return true;
-  uint32_t visited = 1u;
-  uint32_t frontier = 1u;
-  while (frontier != 0) {
-    uint32_t next = 0;
-    for (int i = 0; i < n; ++i) {
-      if (!((frontier >> i) & 1u)) continue;
-      for (int j = 0; j < n; ++j) {
-        if (!((visited >> j) & 1u) && g.HasEdge(nodes[i], nodes[j])) {
-          next |= 1u << j;
-        }
+  assert(n <= 32);
+  uint32_t rows[32] = {};
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (g.HasEdge(nodes[i], nodes[j])) {
+        rows[i] |= 1u << j;
+        rows[j] |= 1u << i;
       }
     }
-    visited |= next;
-    frontier = next;
   }
-  return visited == (1u << n) - 1u;
+  return MaskRowsConnected(rows, n);
 }
 
-void EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
-                          std::vector<VertexId>* out_neighbors) {
+uint64_t EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
+                              std::vector<VertexId>* out_neighbors,
+                              GdScratch& scratch) {
   const int d = static_cast<int>(state.size());
-  std::vector<VertexId> base(d - 1);
-  std::vector<VertexId> candidate(d);
-  std::vector<VertexId> additions;  // distinct v_in candidates per v_out
+  assert(d >= 1 && d <= 32);
+
+  // Internal adjacency of the current state, once per call: C(d,2) edge
+  // queries that every evicted-vertex iteration below reuses.
+  uint32_t* srows = scratch.state_rows.data();
+  for (int i = 0; i < d; ++i) srows[i] = 0;
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      if (g.HasEdge(state[i], state[j])) {
+        srows[i] |= 1u << j;
+        srows[j] |= 1u << i;
+      }
+    }
+  }
+
+  std::vector<VertexId>& base = scratch.base;
+  std::vector<VertexId>& candidate = scratch.candidate;
+  std::vector<VertexId>& additions = scratch.additions;
+  base.resize(d > 0 ? d - 1 : 0);
+  candidate.resize(d);
+  uint64_t count = 0;
 
   for (int out_idx = 0; out_idx < d; ++out_idx) {
-    // base = state minus the out_idx-th node, kept sorted.
+    // base = state minus the out_idx-th node, kept sorted; its internal
+    // adjacency is the state's with row/column out_idx spliced out.
+    uint32_t* brows = scratch.base_rows.data();
+    const uint32_t low_mask = (1u << out_idx) - 1u;
     for (int i = 0, j = 0; i < d; ++i) {
-      if (i != out_idx) base[j++] = state[i];
+      if (i == out_idx) continue;
+      base[j] = state[i];
+      const uint64_t row = srows[i];  // 64-bit so >> (out_idx + 1) is
+                                      // defined even when out_idx == 31
+      brows[j] = static_cast<uint32_t>((row & low_mask) |
+                                       ((row >> (out_idx + 1)) << out_idx));
+      ++j;
     }
+
     // Candidate incoming nodes: neighbors of the base, outside the state.
     // (A node with no edge to the base can never yield a connected
     // candidate, since all its candidate edges go to the base.)
@@ -54,10 +101,82 @@ void EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
                     additions.end());
 
     for (VertexId w : additions) {
-      // candidate = sorted(base + {w}). Distinct (out_idx, w) pairs always
-      // produce distinct candidates, so no cross-out_idx dedup is needed.
+      // d-1 fresh edge queries give w's adjacency against the base; the
+      // connectivity of base ∪ {w} then follows from bitmasks alone.
+      uint32_t wmask = 0;
+      for (int i = 0; i + 1 < d; ++i) {
+        if (g.HasEdge(base[i], w)) wmask |= 1u << i;
+      }
+      uint32_t rows[32];
+      for (int i = 0; i + 1 < d; ++i) {
+        rows[i] = brows[i] | (((wmask >> i) & 1u) << (d - 1));
+      }
+      rows[d - 1] = wmask;
+      if (!MaskRowsConnected(rows, d)) continue;
+      ++count;
+      if (out_neighbors != nullptr) {
+        // candidate = sorted(base + {w}). Distinct (out_idx, w) pairs
+        // always produce distinct candidates, so no cross-out_idx dedup
+        // is needed.
+        std::merge(base.begin(), base.end(), &w, &w + 1, candidate.begin());
+        out_neighbors->insert(out_neighbors->end(), candidate.begin(),
+                              candidate.end());
+      }
+    }
+  }
+  return count;
+}
+
+void EnumerateGdNeighborsReference(const Graph& g,
+                                   std::span<const VertexId> state,
+                                   std::vector<VertexId>* out_neighbors) {
+  // The PR 3 implementation, verbatim: three scratch vectors allocated per
+  // call, full adjacency-probing connectivity BFS per candidate.
+  const auto connected = [&g](std::span<const VertexId> nodes) {
+    const int n = static_cast<int>(nodes.size());
+    if (n <= 1) return true;
+    uint32_t visited = 1u;
+    uint32_t frontier = 1u;
+    while (frontier != 0) {
+      uint32_t next = 0;
+      for (int i = 0; i < n; ++i) {
+        if (!((frontier >> i) & 1u)) continue;
+        for (int j = 0; j < n; ++j) {
+          if (!((visited >> j) & 1u) && g.HasEdge(nodes[i], nodes[j])) {
+            next |= 1u << j;
+          }
+        }
+      }
+      visited |= next;
+      frontier = next;
+    }
+    return visited == (1u << n) - 1u;
+  };
+
+  const int d = static_cast<int>(state.size());
+  std::vector<VertexId> base(d - 1);
+  std::vector<VertexId> candidate(d);
+  std::vector<VertexId> additions;  // distinct v_in candidates per v_out
+
+  for (int out_idx = 0; out_idx < d; ++out_idx) {
+    for (int i = 0, j = 0; i < d; ++i) {
+      if (i != out_idx) base[j++] = state[i];
+    }
+    additions.clear();
+    for (VertexId v : base) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (std::find(state.begin(), state.end(), w) == state.end()) {
+          additions.push_back(w);
+        }
+      }
+    }
+    std::sort(additions.begin(), additions.end());
+    additions.erase(std::unique(additions.begin(), additions.end()),
+                    additions.end());
+
+    for (VertexId w : additions) {
       std::merge(base.begin(), base.end(), &w, &w + 1, candidate.begin());
-      if (InducedSubgraphConnected(g, candidate)) {
+      if (connected(candidate)) {
         out_neighbors->insert(out_neighbors->end(), candidate.begin(),
                               candidate.end());
       }
@@ -65,11 +184,9 @@ void EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
   }
 }
 
-uint64_t SubgraphStateDegree(const Graph& g,
-                             std::span<const VertexId> state) {
-  std::vector<VertexId> scratch;
-  EnumerateGdNeighbors(g, state, &scratch);
-  return scratch.size() / state.size();
+uint64_t SubgraphStateDegree(const Graph& g, std::span<const VertexId> state,
+                             GdScratch& scratch) {
+  return EnumerateGdNeighbors(g, state, nullptr, scratch);
 }
 
 void SubgraphWalk::Reset(Rng& rng) {
@@ -121,7 +238,7 @@ void SubgraphWalk::Step(Rng& rng) {
 
 uint64_t SubgraphWalk::DegreeOfState(
     std::span<const VertexId> state_nodes) const {
-  return SubgraphStateDegree(*g_, state_nodes);
+  return SubgraphStateDegree(*g_, state_nodes, scratch_);
 }
 
 }  // namespace grw

@@ -8,10 +8,20 @@
 // remainder and t connected. That costs O(d^2 |E|/|V|) per step, which is
 // exactly why the paper argues for walking with small d; our Table 6 bench
 // reproduces the resulting runtime gap.
+//
+// Hot-path design: enumeration reuses a caller-owned GdScratch (zero
+// allocations once warm) and checks candidate connectivity incrementally —
+// the state's internal adjacency mask is built once per call with C(d,2)
+// edge queries, each evicted vertex derives its base mask by bit surgery,
+// and each candidate v_in costs exactly d-1 new edge queries plus an
+// O(d) bitmask BFS (no further adjacency probes). The pre-optimization
+// path is preserved as EnumerateGdNeighborsReference for the equivalence
+// tests and the micro-bench baseline.
 
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -20,18 +30,56 @@
 
 namespace grw {
 
-/// Appends to *out_neighbors all G(d)-neighbors of `state` (sorted node
-/// ids, d = state.size()), flattened d ids per neighbor, each sorted.
-/// A neighbor is any connected induced d-node subgraph sharing exactly
-/// d-1 nodes with `state`.
-void EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
-                          std::vector<VertexId>* out_neighbors);
+/// Reusable scratch for G(d) neighbor enumeration. One instance per
+/// walker/chain; reuse across calls makes the hot path allocation-free
+/// after the first few steps (the vectors keep their high-water capacity).
+struct GdScratch {
+  std::vector<VertexId> base;       // state minus the evicted vertex
+  std::vector<VertexId> candidate;  // base plus the incoming vertex
+  std::vector<VertexId> additions;  // distinct v_in candidates per v_out
+  std::array<uint32_t, 32> state_rows = {};  // state internal adjacency
+  std::array<uint32_t, 32> base_rows = {};   // derived per evicted vertex
+};
+
+/// Appends to *out_neighbors (if non-null) all G(d)-neighbors of `state`
+/// (sorted node ids, d = state.size() <= 32), flattened d ids per
+/// neighbor, each sorted; returns the neighbor count. A neighbor is any
+/// connected induced d-node subgraph sharing exactly d-1 nodes with
+/// `state`. Pass out_neighbors == nullptr to count without materializing.
+uint64_t EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
+                              std::vector<VertexId>* out_neighbors,
+                              GdScratch& scratch);
+
+/// Convenience overload with a throwaway scratch (tests, one-off calls).
+inline void EnumerateGdNeighbors(const Graph& g,
+                                 std::span<const VertexId> state,
+                                 std::vector<VertexId>* out_neighbors) {
+  GdScratch scratch;
+  EnumerateGdNeighbors(g, state, out_neighbors, scratch);
+}
+
+/// The pre-acceleration enumerator: per-call vector allocations and a full
+/// adjacency-probing BFS per candidate. Kept verbatim as the behavioral
+/// reference — tests assert the accelerated path emits the identical
+/// flattened neighbor sequence, and bench_micro_hasedge uses it as the
+/// end-to-end SRW baseline.
+void EnumerateGdNeighborsReference(const Graph& g,
+                                   std::span<const VertexId> state,
+                                   std::vector<VertexId>* out_neighbors);
 
 /// Degree of `state` in G(d): the number of neighbors above.
-uint64_t SubgraphStateDegree(const Graph& g,
-                             std::span<const VertexId> state);
+uint64_t SubgraphStateDegree(const Graph& g, std::span<const VertexId> state,
+                             GdScratch& scratch);
+
+/// Convenience overload with a throwaway scratch.
+inline uint64_t SubgraphStateDegree(const Graph& g,
+                                    std::span<const VertexId> state) {
+  GdScratch scratch;
+  return SubgraphStateDegree(g, state, scratch);
+}
 
 /// True iff the subgraph induced by `nodes` (<= 32 of them) is connected.
+/// Costs C(|nodes|, 2) edge queries and one bitmask BFS.
 bool InducedSubgraphConnected(const Graph& g,
                               std::span<const VertexId> nodes);
 
@@ -77,7 +125,7 @@ class SubgraphWalk final : public StateWalker {
   void EnsureNeighbors() const {
     if (!neighbors_valid_) {
       neighbors_.clear();
-      EnumerateGdNeighbors(*g_, Nodes(), &neighbors_);
+      EnumerateGdNeighbors(*g_, Nodes(), &neighbors_, scratch_);
       neighbors_valid_ = true;
     }
   }
@@ -89,6 +137,7 @@ class SubgraphWalk final : public StateWalker {
   std::vector<VertexId> prev_;   // sorted; empty until first Step
   mutable std::vector<VertexId> neighbors_;  // flattened neighbor states
   mutable bool neighbors_valid_ = false;
+  mutable GdScratch scratch_;
 };
 
 }  // namespace grw
