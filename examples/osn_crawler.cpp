@@ -2,11 +2,12 @@
 // concentration of a network that is only reachable through friend-list
 // APIs — the paper's motivating use case (Sections 1 and 6.3.3).
 //
-// The crawler walks the graph through the RestrictedAccess facade (which
-// counts API calls), runs the paper's best 3-node method (SRW1CSSNB) and
-// the adapted Wedge-MHRW baseline at the same *API budget* (not the same
-// step budget: MHRW costs 3 calls per step), and reports what each learns
-// about the network.
+// The framework crawler walks the graph through CrawlAccess — the real
+// access layer: a local cache of every friend list it fetched, per-query
+// accounting, and a distinct-query budget that stops the walk when the
+// API allowance is spent, so its cost column is *measured*. The adapted
+// Wedge-MHRW baseline runs at its documented cost model of 3 API calls
+// per step (wedge_mhrw.h), so its step budget is api_budget / 3.
 //
 // Usage:
 //   osn_crawler [--graph edge_list.txt] [--budget N_api_calls]
@@ -51,13 +52,24 @@ int main(int argc, char** argv) {
   const grw::GraphletCatalog& c3 = grw::GraphletCatalog::ForSize(3);
   const int triangle = c3.IdByName("triangle");
 
-  // The framework walk costs ~1 neighbor-fetch per step.
-  grw::RestrictedAccess api(graph);
-  grw::EstimatorConfig config{3, 1, true, true};  // SRW1CSSNB
-  grw::GraphletEstimator estimator(graph, config);
+  // The framework walk, through the crawl access layer: every neighbor
+  // list it touches is fetched once and kept (unbounded cache), and the
+  // walk stops by itself if it ever spends the full distinct-query
+  // budget. Window edge-tests and CSS degree reads are answered from the
+  // cache, so a step costs far less than one API call on average.
+  grw::CrawlAccess::Options crawl_opt;
+  crawl_opt.query_budget = api_budget;
+  grw::CrawlAccess api(graph, crawl_opt);
+  grw::EstimatorConfig config{3, 1, true, true, 0};  // SRW1CSSNB
+  grw::GraphletEstimatorT<grw::CrawlAccess> estimator(api, config);
   estimator.Reset(2026);
-  estimator.Run(api_budget);  // 1 call/step in the crawl-cost model
+  // The distinct-query budget is the binding constraint: the cache makes
+  // most steps free, so the walk gets many more than api_budget steps
+  // out of the allowance. The step count is only a generous safety cap
+  // (a budget above the reachable node count can never be spent).
+  estimator.Run(20 * api_budget);
   const double rw_c32 = estimator.Result().concentrations[triangle];
+  const grw::CrawlStats& cost = api.stats();
 
   // The MHRW baseline costs 3 calls per step -> one third of the steps.
   grw::WedgeMhrw mhrw(graph);
@@ -85,7 +97,15 @@ int main(int argc, char** argv) {
                                 4),
                 "-"});
   table.Print();
-  std::printf("nodes touched: about %.2f%% of the graph per chain\n",
-              100.0 * static_cast<double>(api_budget) / graph.NumNodes());
+  std::printf(
+      "framework crawl cost: %llu distinct friend-list fetches for %llu "
+      "steps (%.1f%% served from the local cache)%s\n",
+      static_cast<unsigned long long>(cost.distinct_fetches),
+      static_cast<unsigned long long>(estimator.Steps()),
+      100.0 * cost.HitRate(),
+      api.BudgetExhausted() ? " — budget exhausted" : "");
+  std::printf("nodes touched: %.2f%% of the graph\n",
+              100.0 * static_cast<double>(cost.distinct_fetches) /
+                  graph.NumNodes());
   return 0;
 }

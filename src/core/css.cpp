@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "core/alpha.h"
+#include "graph/access.h"
 #include "graphlet/catalog.h"
 
 namespace grw {
@@ -17,8 +18,10 @@ namespace {
 
 // Degree in G(d) of the state given by canonical-label bitmask `state`,
 // mapped onto the sample's real vertices. Only d <= 2 (closed forms).
+// Degree reads go through the access policy G.
+template <class G>
 uint64_t MappedStateDegree(uint16_t state, int d, const MaskInfo& info,
-                           std::span<const VertexId> nodes, const Graph& g) {
+                           std::span<const VertexId> nodes, const G& g) {
   if (d == 1) {
     const int c = std::countr_zero(state);
     return g.Degree(nodes[info.position_of[c]]);
@@ -51,7 +54,19 @@ CssTable::CssTable(int k, int d) : k_(k), d_(d) {
     for (const StateSequence& seq : sequences) {
       std::array<uint16_t, 4> key = {};
       for (int t = 1; t + 1 < l; ++t) key[t - 1] = seq[t];
-      std::sort(key.begin(), key.begin() + std::max(0, l - 2));
+      // Insertion sort over the <= 4 interior entries. (std::sort on the
+      // dynamic prefix trips GCC's -O3 value-range analysis into
+      // -Warray-bounds false positives; this is just as clear.)
+      const int interior = std::max(0, l - 2);
+      for (int i = 1; i < interior; ++i) {
+        const uint16_t x = key[i];
+        int j = i;
+        while (j > 0 && key[j - 1] > x) {
+          key[j] = key[j - 1];
+          --j;
+        }
+        key[j] = x;
+      }
       groups[key]++;
     }
     for (const auto& [key, count] : groups) {
@@ -64,8 +79,9 @@ CssTable::CssTable(int k, int d) : k_(k), d_(d) {
   }
 }
 
+template <class G>
 double CssTable::Eval(const MaskInfo& info, std::span<const VertexId> nodes,
-                      const Graph& g, bool nb) const {
+                      const G& g, bool nb) const {
   assert(info.type >= 0);
   double total = 0.0;
   for (const CssEntry& entry : entries_[info.type]) {
@@ -78,6 +94,14 @@ double CssTable::Eval(const MaskInfo& info, std::span<const VertexId> nodes,
   }
   return total;
 }
+
+// Closed policy family (graph/access.h): full access + crawl access.
+template double CssTable::Eval<Graph>(const MaskInfo&,
+                                      std::span<const VertexId>,
+                                      const Graph&, bool) const;
+template double CssTable::Eval<CrawlAccess>(const MaskInfo&,
+                                            std::span<const VertexId>,
+                                            const CrawlAccess&, bool) const;
 
 const CssTable& CssTable::For(int k, int d) {
   // k in [3, kMaxGraphletSize], d in {1, 2}.

@@ -64,9 +64,12 @@ class CssTable {
   /// Evaluates 2|R(d)| * p(X) for a sample with classification `info`
   /// (from GraphletClassifier) whose window vertices are `nodes` (the
   /// order the mask was built in). `nb` applies the non-backtracking
-  /// nominal degree d' = max(d-1, 1).
+  /// nominal degree d' = max(d-1, 1). Degree reads go through the access
+  /// policy G (Graph = full access; CrawlAccess charges/caches them);
+  /// defined in css.cpp, instantiated for both policies.
+  template <class G>
   double Eval(const MaskInfo& info, std::span<const VertexId> nodes,
-              const Graph& g, bool nb) const;
+              const G& g, bool nb) const;
 
   /// Shared singleton per (k, d); thread-safe.
   static const CssTable& For(int k, int d);

@@ -2,9 +2,11 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <type_traits>
 
 #include "core/alpha.h"
 #include "core/rsize.h"
+#include "graph/access.h"
 #include "walk/edge_walk.h"
 #include "walk/node_walk.h"
 #include "walk/subgraph_walk.h"
@@ -20,10 +22,11 @@ std::string EstimatorConfig::Name() const {
 
 namespace {
 
-std::unique_ptr<StateWalker> MakeWalker(const Graph& g, int d, bool nb) {
-  if (d == 1) return std::make_unique<NodeWalk>(g, nb);
-  if (d == 2) return std::make_unique<EdgeWalk>(g, nb);
-  return std::make_unique<SubgraphWalk>(g, d, nb);
+template <class G>
+std::unique_ptr<StateWalker> MakeWalker(const G& g, int d, bool nb) {
+  if (d == 1) return std::make_unique<NodeWalkT<G>>(g, nb);
+  if (d == 2) return std::make_unique<EdgeWalkT<G>>(g, nb);
+  return std::make_unique<SubgraphWalkT<G>>(g, d, nb);
 }
 
 // Validated before any member initializer touches the k-indexed
@@ -38,10 +41,18 @@ EstimatorConfig ValidateConfig(const EstimatorConfig& config) {
   return config;
 }
 
+// Whether the access policy carries a query budget the run loop must poll
+// (CrawlAccess). For Graph this is false and the poll compiles away.
+template <class G>
+constexpr bool kHasQueryBudget = requires(const G& g) {
+  { g.BudgetExhausted() } -> std::convertible_to<bool>;
+};
+
 }  // namespace
 
-GraphletEstimator::GraphletEstimator(const Graph& g,
-                                     const EstimatorConfig& config)
+template <class G>
+GraphletEstimatorT<G>::GraphletEstimatorT(const G& g,
+                                          const EstimatorConfig& config)
     : g_(&g),
       config_(ValidateConfig(config)),
       l_(config.k - config.d + 1),
@@ -57,7 +68,8 @@ GraphletEstimator::GraphletEstimator(const Graph& g,
   }
 }
 
-void GraphletEstimator::Reset(uint64_t seed) {
+template <class G>
+void GraphletEstimatorT<G>::Reset(uint64_t seed) {
   rng_.Seed(seed);
   std::fill(weights_.begin(), weights_.end(), 0.0);
   std::fill(samples_.begin(), samples_.end(), 0);
@@ -80,8 +92,15 @@ void GraphletEstimator::Reset(uint64_t seed) {
   }
 }
 
-void GraphletEstimator::Run(uint64_t steps) {
+template <class G>
+void GraphletEstimatorT<G>::Run(uint64_t steps) {
   for (uint64_t i = 0; i < steps; ++i) {
+    // Crawl budget: stop before the next transition once the access has
+    // spent its distinct-query allowance. Static dispatch — for Graph
+    // this branch does not exist in the compiled loop.
+    if constexpr (kHasQueryBudget<G>) {
+      if (g_->BudgetExhausted()) return;
+    }
     // A state's G(d)-degree becomes known before we leave it; snapshot it,
     // transition, then evaluate the new window.
     window_.SetNewestDegree(walker_->StateDegree());
@@ -92,7 +111,8 @@ void GraphletEstimator::Run(uint64_t steps) {
   }
 }
 
-void GraphletEstimator::Accumulate() {
+template <class G>
+void GraphletEstimatorT<G>::Accumulate() {
   if (!window_.Valid()) return;  // fewer than k distinct nodes: invalid
   const uint32_t mask = window_.Mask();
   const MaskInfo& info = classifier_->Info(mask);
@@ -103,7 +123,8 @@ void GraphletEstimator::Accumulate() {
   ++valid_samples_;
 }
 
-double GraphletEstimator::SampleWeight(const MaskInfo& info) const {
+template <class G>
+double GraphletEstimatorT<G>::SampleWeight(const MaskInfo& info) const {
   if (css_table_ != nullptr) {
     // CSS, d <= 2: compiled interior-coefficient tables.
     return 1.0 /
@@ -133,7 +154,8 @@ double GraphletEstimator::SampleWeight(const MaskInfo& info) const {
   return interior_product / static_cast<double>(alpha);
 }
 
-EstimateResult GraphletEstimator::Result() const {
+template <class G>
+EstimateResult GraphletEstimatorT<G>::Result() const {
   EstimateResult result;
   result.weights = weights_;
   result.samples = samples_;
@@ -192,16 +214,24 @@ std::vector<double> CountEstimatesFromResult(const EstimateResult& result,
   return counts;
 }
 
-std::vector<double> GraphletEstimator::CountEstimates() const {
-  if (config_.d > 2) {
+template <class G>
+std::vector<double> GraphletEstimatorT<G>::CountEstimates() const {
+  if constexpr (!std::is_same_v<G, Graph>) {
     throw std::logic_error(
-        "CountEstimates(): no closed-form |R(d)| for d >= 3; pass it "
-        "explicitly");
+        "CountEstimates(): closed-form |R(d)| aggregates full-graph "
+        "degrees — unavailable through a crawl; pass it explicitly");
+  } else {
+    if (config_.d > 2) {
+      throw std::logic_error(
+          "CountEstimates(): no closed-form |R(d)| for d >= 3; pass it "
+          "explicitly");
+    }
+    return CountEstimates(RelationshipEdgeCount(*g_, config_.d));
   }
-  return CountEstimates(RelationshipEdgeCount(*g_, config_.d));
 }
 
-std::vector<double> GraphletEstimator::CountEstimates(
+template <class G>
+std::vector<double> GraphletEstimatorT<G>::CountEstimates(
     uint64_t relationship_edges) const {
   EstimateResult snapshot;
   snapshot.weights = weights_;
@@ -209,13 +239,19 @@ std::vector<double> GraphletEstimator::CountEstimates(
   return CountEstimatesFromResult(snapshot, relationship_edges);
 }
 
-EstimateResult GraphletEstimator::Estimate(const Graph& g,
-                                           const EstimatorConfig& config,
-                                           uint64_t steps, uint64_t seed) {
-  GraphletEstimator estimator(g, config);
+template <class G>
+EstimateResult GraphletEstimatorT<G>::Estimate(const G& g,
+                                               const EstimatorConfig& config,
+                                               uint64_t steps,
+                                               uint64_t seed) {
+  GraphletEstimatorT<G> estimator(g, config);
   estimator.Reset(seed);
   estimator.Run(steps);
   return estimator.Result();
 }
+
+// Closed policy family (graph/access.h): full access + crawl access.
+template class GraphletEstimatorT<Graph>;
+template class GraphletEstimatorT<CrawlAccess>;
 
 }  // namespace grw

@@ -17,6 +17,14 @@
 //
 // Method naming matches the paper: config {d=1} is SRW1, {d=2,css=true}
 // is SRW2CSS, {d=1,css=true,nb=true} is SRW1CSSNB, and {d=k-1} is PSRW.
+//
+// The whole stack is templated on the graph access policy (graph/access.h)
+// with static dispatch: GraphletEstimatorT<Graph> (aliased as
+// GraphletEstimator) is the unchanged full-access estimator — bit-identical
+// results, no overhead — while GraphletEstimatorT<CrawlAccess> reads every
+// neighbor list, edge probe and degree through the crawl cache/accounting
+// layer and stops early once the access's distinct-query budget is
+// exhausted (the budget check compiles away entirely for full access).
 
 #pragma once
 
@@ -27,6 +35,7 @@
 
 #include "core/css.h"
 #include "core/sample_window.h"
+#include "graph/access.h"
 #include "graph/graph.h"
 #include "graphlet/classifier.h"
 #include "util/rng.h"
@@ -91,21 +100,28 @@ EstimateResult MergeResults(const std::vector<EstimateResult>& parts);
 std::vector<double> CountEstimatesFromResult(const EstimateResult& result,
                                              uint64_t relationship_edges);
 
-/// Random-walk graphlet concentration/count estimator.
-class GraphletEstimator {
+/// Random-walk graphlet concentration/count estimator over access policy
+/// G. Defined in estimator.cpp; instantiated for Graph and CrawlAccess.
+template <class G = Graph>
+class GraphletEstimatorT {
  public:
   /// The graph must be connected (run LargestConnectedComponent first)
-  /// and large enough for the chosen walk (> d nodes).
+  /// and large enough for the chosen walk (> d nodes). The access object
+  /// must outlive the estimator (for CrawlAccess the caller owns the
+  /// cache — one per chain; the engine does this).
   /// Throws std::invalid_argument on bad configuration.
-  GraphletEstimator(const Graph& g, const EstimatorConfig& config);
+  GraphletEstimatorT(const G& g, const EstimatorConfig& config);
 
   /// Starts a fresh chain: re-seeds the RNG, picks a random initial state,
   /// walks l-1 transitions to fill the window (Algorithm 1 line 3) plus
   /// config.burn_in discarded transitions, and zeroes all accumulators.
+  /// Never budget-gated: a crawl needs at least the seeding transitions.
   void Reset(uint64_t seed);
 
-  /// Advances the chain `steps` transitions, accumulating one candidate
-  /// sample per transition.
+  /// Advances the chain up to `steps` transitions, accumulating one
+  /// candidate sample per transition. With a crawl access policy the loop
+  /// returns early once the access reports its distinct-query budget
+  /// exhausted; with full access that check does not even compile in.
   void Run(uint64_t steps);
 
   /// Current estimates. Cheap; can be called repeatedly mid-run (used by
@@ -113,7 +129,9 @@ class GraphletEstimator {
   EstimateResult Result() const;
 
   /// Count estimates C^k_i (Eq. 4) using the closed-form |R(d)|;
-  /// requires d <= 2. For d >= 3 pass a precomputed |R(d)|.
+  /// requires d <= 2 and full access (|R(d)| aggregates degrees of the
+  /// whole graph — a crawler cannot know it). For d >= 3 or crawl access
+  /// pass a precomputed |R(d)|.
   std::vector<double> CountEstimates() const;
   std::vector<double> CountEstimates(uint64_t relationship_edges) const;
 
@@ -122,15 +140,14 @@ class GraphletEstimator {
   uint64_t Steps() const { return steps_; }
 
   /// Convenience: one-shot estimate with a fresh chain.
-  static EstimateResult Estimate(const Graph& g,
-                                 const EstimatorConfig& config,
+  static EstimateResult Estimate(const G& g, const EstimatorConfig& config,
                                  uint64_t steps, uint64_t seed);
 
  private:
   void Accumulate();
   double SampleWeight(const MaskInfo& info) const;
 
-  const Graph* g_;
+  const G* g_;
   EstimatorConfig config_;
   int l_;
   int num_types_;
@@ -138,7 +155,7 @@ class GraphletEstimator {
   std::vector<int64_t> alpha_;
   const CssTable* css_table_ = nullptr;  // only when css && d <= 2
   std::unique_ptr<StateWalker> walker_;
-  SampleWindow window_;
+  SampleWindowT<G> window_;
   Rng rng_;
   // Reused by the CSS d >= 3 degree probes (SampleWeight is const but the
   // scratch is pure workspace — no observable state).
@@ -149,5 +166,8 @@ class GraphletEstimator {
   uint64_t steps_ = 0;
   uint64_t valid_samples_ = 0;
 };
+
+/// The full-access estimator every pre-policy call site uses.
+using GraphletEstimator = GraphletEstimatorT<Graph>;
 
 }  // namespace grw

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "graph/access.h"
+
 namespace grw {
 
-void SampleWindow::Push(std::span<const VertexId> nodes,
-                        uint64_t state_degree) {
+template <class G>
+void SampleWindowT<G>::Push(std::span<const VertexId> nodes,
+                            uint64_t state_degree) {
   // Evict first so the registry never exceeds k vertices (any l-1
   // consecutive states cover at most d + l - 2 = k - 1 vertices).
   if (size_ == l_) {
@@ -26,7 +29,8 @@ void SampleWindow::Push(std::span<const VertexId> nodes,
   ++size_;
 }
 
-void SampleWindow::AddVertex(VertexId v) {
+template <class G>
+void SampleWindowT<G>::AddVertex(VertexId v) {
   for (int i = 0; i < registry_size_; ++i) {
     if (registry_nodes_[i] == v) {
       ++registry_refs_[i];
@@ -47,7 +51,8 @@ void SampleWindow::AddVertex(VertexId v) {
   adj_[idx][idx] = false;
 }
 
-void SampleWindow::ReleaseVertex(VertexId v) {
+template <class G>
+void SampleWindowT<G>::ReleaseVertex(VertexId v) {
   for (int i = 0; i < registry_size_; ++i) {
     if (registry_nodes_[i] != v) continue;
     if (--registry_refs_[i] > 0) return;
@@ -72,7 +77,8 @@ void SampleWindow::ReleaseVertex(VertexId v) {
   assert(false && "releasing vertex not in registry");
 }
 
-uint32_t SampleWindow::Mask() const {
+template <class G>
+uint32_t SampleWindowT<G>::Mask() const {
   assert(Valid());
   uint32_t mask = 0;
   for (int i = 0; i < k_; ++i) {
@@ -83,7 +89,8 @@ uint32_t SampleWindow::Mask() const {
   return mask;
 }
 
-uint32_t SampleWindow::MaskNaive() const {
+template <class G>
+uint32_t SampleWindowT<G>::MaskNaive() const {
   assert(Valid());
   uint32_t mask = 0;
   for (int i = 0; i < k_; ++i) {
@@ -95,5 +102,9 @@ uint32_t SampleWindow::MaskNaive() const {
   }
   return mask;
 }
+
+// Closed policy family (graph/access.h): full access + crawl access.
+template class SampleWindowT<Graph>;
+template class SampleWindowT<CrawlAccess>;
 
 }  // namespace grw

@@ -6,9 +6,12 @@
 // adjacency against the <= k-1 retained vertices costs k-1 edge queries —
 // versus C(k,2) for rebuilding from scratch. Both paths are implemented;
 // tests assert they agree and the micro bench measures the gap. Each
-// query goes through Graph::HasEdge, so attaching an AdjacencyIndex
-// (graph/adjacency.h) turns the per-step maintenance into k-1 O(1)-ish
-// probes without touching this code.
+// query goes through the access policy's HasEdge: with full access
+// (SampleWindow = SampleWindowT<Graph>) that is Graph::HasEdge, so
+// attaching an AdjacencyIndex (graph/adjacency.h) turns the per-step
+// maintenance into k-1 O(1)-ish probes without touching this code; with
+// CrawlAccess the same probes are answered from the crawler's cached
+// neighbor lists and charged API cost on a miss.
 //
 // The window also snapshots each state's G(d)-degree (provided by the
 // caller as states are pushed) because the expanded-chain weight of a
@@ -22,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/access.h"
 #include "graph/graph.h"
 #include "graphlet/catalog.h"
 
@@ -37,11 +41,14 @@ struct WindowState {
   uint64_t degree = 0;
 };
 
-/// Sliding window of l consecutive d-node states.
-class SampleWindow {
+/// Sliding window of l consecutive d-node states, reading adjacency
+/// through access policy G. Defined in sample_window.cpp; instantiated
+/// for Graph and CrawlAccess.
+template <class G = Graph>
+class SampleWindowT {
  public:
   /// k: graphlet size, l = k - d + 1 states per window.
-  SampleWindow(const Graph& g, int k, int l)
+  SampleWindowT(const G& g, int k, int l)
       : g_(&g), k_(k), l_(l) {
     assert(l >= 2 && k >= 3 && k <= kMaxGraphletSize);
     states_.resize(l);
@@ -98,7 +105,7 @@ class SampleWindow {
   void AddVertex(VertexId v);
   void ReleaseVertex(VertexId v);
 
-  const Graph* g_;
+  const G* g_;
   int k_;
   int l_;
   std::vector<WindowState> states_;
@@ -113,5 +120,8 @@ class SampleWindow {
   std::array<std::array<bool, kMaxGraphletSize>, kMaxGraphletSize> adj_ = {};
   int registry_size_ = 0;
 };
+
+/// The full-access window every pre-policy call site uses.
+using SampleWindow = SampleWindowT<Graph>;
 
 }  // namespace grw

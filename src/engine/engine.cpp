@@ -24,6 +24,11 @@ class EngineChain {
   virtual void Reset(uint64_t seed) = 0;
   virtual void Run(uint64_t steps) = 0;
   virtual void Snapshot(std::vector<EstimateResult>* out) const = 0;
+  /// Crawl chains: true once the chain's distinct-query share is spent
+  /// (the chain's Run() calls become no-ops from then on).
+  virtual bool BudgetExhausted() const { return false; }
+  /// Crawl chains: the chain's private access accounting, else nullptr.
+  virtual const CrawlStats* AccessStats() const { return nullptr; }
 };
 
 class SingleSizeChain final : public EngineChain {
@@ -38,6 +43,29 @@ class SingleSizeChain final : public EngineChain {
 
  private:
   GraphletEstimator estimator_;
+};
+
+// One crawler: a private LRU-cached access (its local copy of whatever it
+// fetched) driving the same estimator code through static dispatch.
+class CrawlSingleSizeChain final : public EngineChain {
+ public:
+  CrawlSingleSizeChain(const Graph& g, const EstimatorConfig& config,
+                       const CrawlAccess::Options& access_options)
+      : access_(g, access_options), estimator_(access_, config) {}
+  void Reset(uint64_t seed) override {
+    access_.ResetCache();  // a fresh crawler: empty cache, zero counters
+    estimator_.Reset(seed);
+  }
+  void Run(uint64_t steps) override { estimator_.Run(steps); }
+  void Snapshot(std::vector<EstimateResult>* out) const override {
+    out->assign(1, estimator_.Result());
+  }
+  bool BudgetExhausted() const override { return access_.BudgetExhausted(); }
+  const CrawlStats* AccessStats() const override { return &access_.stats(); }
+
+ private:
+  CrawlAccess access_;
+  GraphletEstimatorT<CrawlAccess> estimator_;
 };
 
 class MultiSizeChain final : public EngineChain {
@@ -65,6 +93,9 @@ struct LoopOutput {
   std::vector<std::vector<double>> standard_errors;    // per stream
   double max_rel_error = std::numeric_limits<double>::infinity();
   bool converged = false;
+  bool budget_exhausted = false;
+  CrawlStats access;                        // summed in chain order
+  std::vector<CrawlStats> per_chain_access;  // crawl mode only
   int rounds = 0;
   uint64_t steps_per_chain = 0;
   double seconds = 0.0;
@@ -113,6 +144,12 @@ LoopOutput RunLoop(
   // Previous round's cumulative weights, [chain][stream], for batch diffs.
   std::vector<std::vector<std::vector<double>>> prev_weights(chains);
   std::vector<BatchMeansAccumulator> accumulators(streams);
+  // Walk steps each chain had completed at the previous round boundary:
+  // a budget-exhausted chain stops advancing, and a stalled chain must
+  // not feed zero batches into the convergence accumulators.
+  std::vector<uint64_t> prev_steps(chains, 0);
+  const bool budget_mode =
+      opt.crawl.enabled && opt.crawl.budget_queries > 0;
 
   uint64_t done = 0;
   while (done < opt.max_steps) {
@@ -137,8 +174,12 @@ LoopOutput RunLoop(
     }
 
     // One batch per (chain, stream): the weight accumulated this round,
-    // normalized to a concentration vector.
+    // normalized to a concentration vector. Chains that made no progress
+    // (budget spent mid-earlier-round) contribute no batch.
     for (int c = 0; c < chains; ++c) {
+      const uint64_t chain_steps = out.per_chain[c][0].steps;
+      if (chain_steps == prev_steps[c]) continue;
+      prev_steps[c] = chain_steps;
       if (prev_weights[c].empty()) prev_weights[c].resize(streams);
       for (int s = 0; s < streams; ++s) {
         accumulators[s].AddBatch(BatchFromCumulativeWeights(
@@ -160,9 +201,15 @@ LoopOutput RunLoop(
     out.max_rel_error = max_rel;
     out.seconds = timer.Seconds();
     out.steps_per_chain = done;
+    // Actual transitions, not done * chains: budget-exhausted chains fall
+    // behind the lockstep schedule. Identical for full-access runs.
+    uint64_t actual_steps = 0;
+    for (int c = 0; c < chains; ++c) {
+      actual_steps += out.per_chain[c][0].steps;
+    }
     out.steps_per_second =
         out.seconds > 0.0
-            ? static_cast<double>(done) * chains / out.seconds
+            ? static_cast<double>(actual_steps) / out.seconds
             : 0.0;
 
     if (opt.on_progress) {
@@ -171,7 +218,7 @@ LoopOutput RunLoop(
       progress.chains = chains;
       progress.steps_per_chain = done;
       progress.max_steps = opt.max_steps;
-      progress.total_steps = done * chains;
+      progress.total_steps = actual_steps;
       progress.seconds = out.seconds;
       progress.steps_per_second = out.steps_per_second;
       progress.max_rel_error = max_rel;
@@ -186,6 +233,32 @@ LoopOutput RunLoop(
         std::isfinite(max_rel) && max_rel <= opt.target_nrmse) {
       out.converged = true;
       break;
+    }
+
+    // Budget stop: every chain decided, inside its own run loop, that its
+    // distinct-query share is spent — a per-chain verdict no thread
+    // schedule can change, so the break lands on the same round at any
+    // thread count.
+    if (budget_mode) {
+      bool all_spent = true;
+      for (const auto& chain : chain_objs) {
+        all_spent = all_spent && chain->BudgetExhausted();
+      }
+      if (all_spent) {
+        out.budget_exhausted = true;
+        break;
+      }
+    }
+  }
+
+  // Crawl accounting: per-chain breakdown plus the chain-order sum.
+  if (opt.crawl.enabled) {
+    out.per_chain_access.reserve(chains);
+    for (const auto& chain : chain_objs) {
+      const CrawlStats* stats = chain->AccessStats();
+      out.per_chain_access.push_back(stats != nullptr ? *stats
+                                                      : CrawlStats{});
+      out.access.MergeFrom(out.per_chain_access.back());
     }
   }
 
@@ -208,6 +281,15 @@ EstimationEngine::EstimationEngine(const Graph& g,
   if (options_.chains < 0) {
     throw std::invalid_argument("EstimationEngine: chains must be >= 0");
   }
+  if (options_.crawl.enabled && options_.crawl.budget_queries > 0 &&
+      options_.crawl.budget_queries <
+          static_cast<uint64_t>(options_.chains)) {
+    // A share of zero would mean "no budget" for that chain and the total
+    // would silently overspend; refuse the degenerate split instead.
+    throw std::invalid_argument(
+        "EstimationEngine: budget_queries must be >= chains (every chain "
+        "needs a positive distinct-query share)");
+  }
   if (options_.chains > 0) {
     // Validate the estimator configuration eagerly (and warm the
     // k-indexed singletons) instead of failing inside the pool.
@@ -219,8 +301,27 @@ EstimationEngine::EstimationEngine(const Graph& g,
 EngineResult EstimationEngine::Run() {
   const Graph& g = *g_;
   const EstimatorConfig& config = config_;
-  LoopOutput loop = RunLoop(1, options_, [&](int) {
-    return std::make_unique<SingleSizeChain>(g, config);
+  const EngineOptions::CrawlConfig& crawl = options_.crawl;
+  const int chains = options_.chains;
+
+  LoopOutput loop = RunLoop(1, options_, [&](int c) -> std::unique_ptr<EngineChain> {
+    if (!crawl.enabled) return std::make_unique<SingleSizeChain>(g, config);
+    CrawlAccess::Options access_options;
+    access_options.cache_entries = crawl.cache_entries;
+    access_options.latency_us = crawl.latency_us;
+    if (crawl.budget_queries > 0) {
+      // Fixed share of the total budget: B/chains each, remainder to the
+      // first B%chains chains (B >= chains was validated, so every share
+      // is positive). A chain stops after the step that crosses its
+      // share, so the total can overshoot B by at most one step's
+      // fetches per chain — reported honestly in EngineResult::access.
+      access_options.query_budget =
+          crawl.budget_queries / chains +
+          (static_cast<uint64_t>(c) < crawl.budget_queries % chains ? 1
+                                                                    : 0);
+    }
+    return std::make_unique<CrawlSingleSizeChain>(g, config,
+                                                  access_options);
   });
 
   EngineResult result;
@@ -232,6 +333,9 @@ EngineResult EstimationEngine::Run() {
   result.standard_errors = std::move(loop.standard_errors[0]);
   result.max_rel_error = loop.max_rel_error;
   result.converged = loop.converged;
+  result.budget_exhausted = loop.budget_exhausted;
+  result.access = loop.access;
+  result.per_chain_access = std::move(loop.per_chain_access);
   result.rounds = loop.rounds;
   result.steps_per_chain = loop.steps_per_chain;
   result.seconds = loop.seconds;
@@ -243,6 +347,10 @@ MultiSizeEngineResult RunMultiSizeEngine(const Graph& g, int d,
                                          const std::vector<int>& sizes,
                                          bool css, bool nb,
                                          const EngineOptions& options) {
+  if (options.crawl.enabled) {
+    throw std::invalid_argument(
+        "RunMultiSizeEngine: crawl mode is single-size only");
+  }
   // Construct one probe to validate configuration and learn the
   // deduplicated, sorted size list (MultiSizeEstimator normalizes it).
   MultiSizeEstimator probe(g, d, sizes, css, nb);

@@ -16,6 +16,15 @@
 // same step counts, and the stopping decision depends only on the merged
 // round snapshots — so results (including where the engine stops) are
 // bit-identical at any thread count.
+//
+// Crawl mode (EngineOptions::crawl): each chain owns a private CrawlAccess
+// (graph/access.h) — an LRU neighbor cache plus per-query accounting — and
+// the estimator stack reads the graph exclusively through it (static
+// dispatch, so full-access runs compile to the unchanged hot path). A
+// total distinct-query budget B is split across chains in fixed shares;
+// each chain stops itself the moment its share is spent, inside its own
+// run loop — a per-chain decision that no thread schedule can perturb, so
+// budget-stopped results are bit-identical at any thread count too.
 
 #pragma once
 
@@ -26,6 +35,7 @@
 
 #include "core/estimator.h"
 #include "engine/chain_pool.h"
+#include "graph/access.h"
 #include "graph/graph.h"
 
 namespace grw {
@@ -34,10 +44,12 @@ namespace grw {
 struct EngineProgress {
   int round = 0;
   int chains = 0;
-  /// Steps every chain has taken so far (chains advance in lockstep).
+  /// The lockstep schedule position: steps every chain was *offered* so
+  /// far. In crawl mode a budget-exhausted chain stops short of it.
   uint64_t steps_per_chain = 0;
   uint64_t max_steps = 0;
-  /// Steps summed across chains.
+  /// Steps actually taken, summed across chains (equals
+  /// steps_per_chain * chains except for budget-stalled chains).
   uint64_t total_steps = 0;
   double seconds = 0.0;
   /// Aggregate walk throughput, transitions per second across all chains.
@@ -78,6 +90,26 @@ struct EngineOptions {
   /// Types with merged concentration below this floor are not gated on
   /// (their relative error is dominated by shot noise).
   double min_concentration = 1e-3;
+
+  /// Restricted-access (crawl) simulation of the paper's OSN setting.
+  struct CrawlConfig {
+    /// Route every chain through its own CrawlAccess instead of the raw
+    /// Graph. Estimates are bit-identical either way (gated in CI by
+    /// bench_access --check-identical); only cost accounting and the
+    /// budget stop are added.
+    bool enabled = false;
+    /// Total distinct neighbor-list fetches across all chains; 0 = no
+    /// budget. Split into fixed per-chain shares (remainder to the first
+    /// chains, floor of 1), so the stop point is thread-count invariant.
+    uint64_t budget_queries = 0;
+    /// Per-chain LRU capacity in cached lists; 0 = unbounded.
+    uint64_t cache_entries = 0;
+    /// Simulated API latency per fetch, microseconds (accumulated in
+    /// stats, never slept).
+    double latency_us = 0.0;
+  };
+  CrawlConfig crawl;
+
   /// Invoked after every round with a progress snapshot.
   std::function<void(const EngineProgress&)> on_progress;
   /// Pool to run on; nullptr = ChainPool::Shared().
@@ -100,7 +132,16 @@ struct EngineResult {
   double max_rel_error = 0.0;
   /// True when the target was reached before the step cap.
   bool converged = false;
+  /// Crawl mode only: true once every chain spent its distinct-query
+  /// share (the run stopped on budget rather than steps/convergence).
+  bool budget_exhausted = false;
+  /// Crawl mode only: per-query accounting summed across chains (in
+  /// chain order), and the per-chain breakdown. Empty/zero otherwise.
+  CrawlStats access;
+  std::vector<CrawlStats> per_chain_access;
   int rounds = 0;
+  /// Lockstep schedule position at the stop (budget-stalled chains may
+  /// have taken fewer transitions; merged.steps is the actual total).
   uint64_t steps_per_chain = 0;
   double seconds = 0.0;
   double steps_per_second = 0.0;
@@ -143,7 +184,10 @@ struct MultiSizeEngineResult {
 
 /// Engine entry point for MultiSizeEstimator: each chain is ONE shared
 /// walk on G(d) feeding every size in `sizes`; convergence gates on all
-/// sizes at once. Options are honored as in EstimationEngine.
+/// sizes at once. Options are honored as in EstimationEngine, except
+/// crawl mode (full access only; throws std::invalid_argument if
+/// options.crawl.enabled — the multi-size estimator is not templated on
+/// the access policy yet).
 MultiSizeEngineResult RunMultiSizeEngine(const Graph& g, int d,
                                          const std::vector<int>& sizes,
                                          bool css, bool nb,

@@ -1,0 +1,37 @@
+#include "graph/access.h"
+
+namespace grw {
+
+CrawlAccess::CrawlAccess(const Graph& g, const Options& options)
+    : g_(&g), opt_(options) {
+  const uint64_t n = g.NumNodes();
+  // 0 or oversize means "never evict": every node's list fits.
+  capacity_ = static_cast<uint32_t>(
+      opt_.cache_entries == 0 || opt_.cache_entries >= n
+          ? n
+          : opt_.cache_entries);
+  never_evicts_ = capacity_ == n;
+  slot_of_.assign(n, kNoSlot);
+  node_of_.assign(capacity_, 0);
+  prev_.assign(capacity_, kNoSlot);
+  next_.assign(capacity_, kNoSlot);
+  ever_fetched_.assign((n + 63) / 64, 0);
+}
+
+void CrawlAccess::ResetStats() {
+  stats_ = CrawlStats{};
+  // The distinct-fetch registry belongs to the accounting phase the
+  // counters describe: keeping it would make post-reset distinct counts
+  // (and the budget) skip nodes fetched before the reset.
+  std::fill(ever_fetched_.begin(), ever_fetched_.end(), 0);
+}
+
+void CrawlAccess::ResetCache() {
+  for (uint32_t s = 0; s < used_; ++s) slot_of_[node_of_[s]] = kNoSlot;
+  std::fill(ever_fetched_.begin(), ever_fetched_.end(), 0);
+  head_ = tail_ = kNoSlot;
+  used_ = 0;
+  stats_ = CrawlStats{};
+}
+
+}  // namespace grw

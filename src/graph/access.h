@@ -1,59 +1,271 @@
-// Restricted-access facade modeling the crawling setting of the paper.
+// Graph access policies: the crawling setting of the paper as a *static*
+// dispatch family.
 //
 // The paper's motivating scenario (Section 1): the graph is only reachable
-// through OSN APIs that return a user's friend list. RestrictedAccess wraps
-// a Graph behind exactly that interface and counts API calls, so examples
-// and benches can report crawl cost (the paper's adapted wedge sampling
-// costs 3 API calls per step vs 1 for the framework, Section 6.3.3).
+// through OSN APIs that answer "give me v's friend list" at real cost per
+// query. Everything the estimation stack reads from a graph goes through
+// four accessors — Degree, Neighbors, Neighbor, HasEdge — so the stack
+// (walkers, sample window, CSS weights, estimator) is templated on the
+// access policy G:
 //
-// In a real deployment the backend would issue HTTP requests; here the
-// backend is the in-memory Graph, which preserves the access pattern —
-// the only thing the estimators are allowed to depend on.
+//   FullAccess   = Graph itself. The template instantiated with Graph *is*
+//                  the pre-policy code, byte for byte: zero wrapper, zero
+//                  overhead, bit-identical estimates (asserted in tests and
+//                  gated in CI by bench_access --check-identical).
+//   CrawlAccess  = crawl semantics over an in-memory Graph backend: every
+//                  read is served from a bounded LRU cache of fetched
+//                  neighbor lists; a miss is one API call (counted, and
+//                  optionally charged a simulated latency); distinct-node
+//                  fetches are tracked separately from re-fetches of
+//                  evicted nodes so the paper's cost model (distinct
+//                  queries) and the real network cost (all fetches) are
+//                  both observable. An optional query budget marks the
+//                  access as exhausted, which the estimator's run loop
+//                  checks — the check compiles away entirely for
+//                  FullAccess.
+//
+// RestrictedAccess (bottom of this file) predates the policy family and is
+// kept for the baselines/examples that share one facade across threads: it
+// is thread-safe and counts API calls, but has no cache, no latency model
+// and no budget. New code should prefer CrawlAccess.
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "graph/graph.h"
 #include "util/rng.h"
 
 namespace grw {
 
+/// The zero-overhead end of the policy family: full access *is* the graph.
+/// Components templated on the access type and instantiated with Graph
+/// compile to exactly the code they had before the policy existed.
+using FullAccess = Graph;
+
+/// Crawl-cost accounting. Additive across independent crawlers (the engine
+/// merges per-chain stats in chain order).
+struct CrawlStats {
+  /// Neighbor-list fetches actually issued to the API (= cache misses).
+  uint64_t fetches = 0;
+  /// Unique nodes fetched at least once — the paper's cost model charges
+  /// these: a real crawler keeps everything it ever downloaded, so only
+  /// the first fetch of a node hits the remote API budget.
+  uint64_t distinct_fetches = 0;
+  /// Reads served from the LRU cache (no API call).
+  uint64_t cache_hits = 0;
+  /// Cache entries dropped to make room (each may cause a later re-fetch).
+  uint64_t evictions = 0;
+  /// Accumulated simulated API latency (latency_us per fetch).
+  double simulated_latency_us = 0.0;
+
+  /// Fetches repeated because the LRU evicted the node in between.
+  uint64_t Refetches() const { return fetches - distinct_fetches; }
+  /// Fraction of all reads served from the cache.
+  double HitRate() const {
+    const uint64_t total = cache_hits + fetches;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+  void MergeFrom(const CrawlStats& other) {
+    fetches += other.fetches;
+    distinct_fetches += other.distinct_fetches;
+    cache_hits += other.cache_hits;
+    evictions += other.evictions;
+    simulated_latency_us += other.simulated_latency_us;
+  }
+};
+
+/// Neighbor-list-only crawl view of a Graph with per-query accounting and
+/// a bounded LRU neighbor cache.
+///
+/// NOT thread-safe: one instance per chain/crawler (the engine gives every
+/// chain its own). The read API mirrors Graph's, so any component
+/// templated on the access policy accepts either. All reads are const;
+/// cache and counters are mutable interior state, exactly like a real
+/// crawler's local storage.
+class CrawlAccess {
+ public:
+  struct Options {
+    /// LRU capacity in cached neighbor lists; 0 = unbounded (never evict).
+    uint64_t cache_entries = 0;
+    /// Simulated latency charged per API fetch, in microseconds. Purely
+    /// virtual: accumulated in stats, never slept, so simulations stay
+    /// fast and deterministic.
+    double latency_us = 0.0;
+    /// Distinct-fetch budget; 0 = unlimited. Once reached,
+    /// BudgetExhausted() turns true and the estimator run loop stops the
+    /// chain (reads keep working — the budget is a stopping signal, not a
+    /// hard fault).
+    uint64_t query_budget = 0;
+  };
+
+  CrawlAccess(const Graph& g, const Options& options);
+
+  /// Number of nodes/edges. NOT available through real crawl APIs;
+  /// exposed for walk seeding and constructor validation in simulations
+  /// (matches RestrictedAccess::NumNodesForSeeding).
+  VertexId NumNodes() const { return g_->NumNodes(); }
+  uint64_t NumEdges() const { return g_->NumEdges(); }
+
+  /// Degree of v. Revealed by v's neighbor list: fetches v on a miss.
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(Fetch(v).size());
+  }
+
+  /// Full friend list of v (sorted), fetching on a miss.
+  std::span<const VertexId> Neighbors(VertexId v) const { return Fetch(v); }
+
+  /// The i-th neighbor of v (0-based, sorted order).
+  VertexId Neighbor(VertexId v, uint32_t i) const { return Fetch(v)[i]; }
+
+  /// Adjacency test, answered client-side by searching a fetched friend
+  /// list: free (a cache hit) when either endpoint's list is cached,
+  /// otherwise one API call for u's list. Identical result to
+  /// Graph::HasEdge for every input.
+  bool HasEdge(VertexId u, VertexId v) const {
+    VertexId probe = u;
+    VertexId other = v;
+    if (slot_of_[u] == kNoSlot && slot_of_[v] != kNoSlot) {
+      probe = v;
+      other = u;
+    }
+    const std::span<const VertexId> list = Fetch(probe);
+    return std::binary_search(list.begin(), list.end(), other);
+  }
+
+  /// True iff v's neighbor list is currently in the cache (tests).
+  bool Cached(VertexId v) const { return slot_of_[v] != kNoSlot; }
+
+  /// True once the distinct-fetch budget (if any) has been reached.
+  bool BudgetExhausted() const {
+    return opt_.query_budget > 0 &&
+           stats_.distinct_fetches >= opt_.query_budget;
+  }
+
+  const CrawlStats& stats() const { return stats_; }
+  const Options& options() const { return opt_; }
+  /// Effective LRU capacity after clamping (0/oversize -> NumNodes()).
+  uint32_t CacheCapacity() const { return capacity_; }
+
+  /// Starts a new accounting phase: zeroes the counters and the
+  /// distinct-fetch registry, keeping the cached lists (reads of cached
+  /// nodes stay free, and a cache miss counts as distinct again).
+  void ResetStats();
+  /// Drops every cached list and the distinct-fetch registry, then zeroes
+  /// the counters: a fresh crawler against the same backend.
+  void ResetCache();
+
+ private:
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  // The one place queries happen: serves v's list from the cache (LRU
+  // touch) or issues a counted API fetch and inserts it, evicting the
+  // least-recently-used list when at capacity.
+  std::span<const VertexId> Fetch(VertexId v) const {
+    const uint32_t slot = slot_of_[v];
+    if (slot != kNoSlot) {
+      ++stats_.cache_hits;
+      // Recency order only matters if something can ever be evicted; the
+      // unbounded cache skips the list surgery on this hottest path.
+      if (!never_evicts_ && head_ != slot) {
+        Unlink(slot);
+        PushFront(slot);
+      }
+      return g_->Neighbors(v);
+    }
+    ++stats_.fetches;
+    stats_.simulated_latency_us += opt_.latency_us;
+    const uint64_t bit = 1ULL << (v & 63u);
+    if ((ever_fetched_[v >> 6] & bit) == 0) {
+      ever_fetched_[v >> 6] |= bit;
+      ++stats_.distinct_fetches;
+    }
+    uint32_t s;
+    if (used_ < capacity_) {
+      s = used_++;
+    } else {
+      s = tail_;
+      Unlink(s);
+      slot_of_[node_of_[s]] = kNoSlot;
+      ++stats_.evictions;
+    }
+    node_of_[s] = v;
+    slot_of_[v] = s;
+    PushFront(s);
+    return g_->Neighbors(v);
+  }
+
+  void Unlink(uint32_t slot) const {
+    const uint32_t p = prev_[slot];
+    const uint32_t n = next_[slot];
+    if (p != kNoSlot) next_[p] = n; else head_ = n;
+    if (n != kNoSlot) prev_[n] = p; else tail_ = p;
+  }
+
+  void PushFront(uint32_t slot) const {
+    prev_[slot] = kNoSlot;
+    next_[slot] = head_;
+    if (head_ != kNoSlot) prev_[head_] = slot; else tail_ = slot;
+    head_ = slot;
+  }
+
+  const Graph* g_;
+  Options opt_;
+  uint32_t capacity_;
+  bool never_evicts_ = false;  // capacity_ covers every node
+  mutable CrawlStats stats_;
+  mutable std::vector<uint32_t> slot_of_;      // node -> cache slot
+  mutable std::vector<VertexId> node_of_;      // slot -> node
+  mutable std::vector<uint32_t> prev_, next_;  // LRU list over slots
+  mutable uint32_t head_ = kNoSlot;            // most recently used
+  mutable uint32_t tail_ = kNoSlot;            // least recently used
+  mutable uint32_t used_ = 0;
+  mutable std::vector<uint64_t> ever_fetched_;  // distinct-fetch bitset
+};
+
 /// Neighbor-list-only view of a graph with API-call accounting.
 /// Thread-safe: one facade may be shared across the engine's chains; the
-/// call counter is a relaxed atomic (the count is a statistic, not a
-/// synchronization point, so contended increments stay cheap).
+/// counters are relaxed atomics (statistics, not synchronization points).
+/// No cache, latency model or budget — use CrawlAccess for those.
 class RestrictedAccess {
  public:
-  explicit RestrictedAccess(const Graph& g) : g_(&g) {}
+  explicit RestrictedAccess(const Graph& g)
+      : g_(&g),
+        seen_words_((g.NumNodes() + 63) / 64) {
+    for (auto& word : seen_words_) word.store(0, std::memory_order_relaxed);
+  }
 
   /// Degree of v (one API call — profile fetch).
   uint32_t Degree(VertexId v) const {
-    Count();
+    Count(v);
     return g_->Degree(v);
   }
 
   /// Full friend list of v (one API call).
   std::span<const VertexId> Neighbors(VertexId v) const {
-    Count();
+    Count(v);
     return g_->Neighbors(v);
   }
 
   /// Uniform random neighbor of v (one API call; OSN APIs with paging
   /// support this with a random page index). Requires Degree(v) > 0.
   VertexId RandomNeighbor(VertexId v, Rng& rng) const {
-    Count();
+    Count(v);
     return g_->Neighbor(v, static_cast<uint32_t>(
                                rng.UniformInt(g_->Degree(v))));
   }
 
-  /// Adjacency test between two already-visited nodes. Costs one call:
-  /// implemented client-side by searching the cached friend list, but we
-  /// account for the fetch of that list conservatively.
+  /// Adjacency test between two already-visited nodes. Costs one call to
+  /// u's friend list: implemented client-side by searching that list, but
+  /// we account for its fetch conservatively.
   bool HasEdge(VertexId u, VertexId v) const {
-    Count();
+    Count(u);
     return g_->HasEdge(u, v);
   }
 
@@ -61,17 +273,43 @@ class RestrictedAccess {
   /// seeding the walk in simulations only.
   VertexId NumNodesForSeeding() const { return g_->NumNodes(); }
 
-  /// O(1): a single relaxed load.
-  uint64_t ApiCalls() const {
-    return calls_.load(std::memory_order_relaxed);
+  /// Distinct nodes queried — the paper's cost model: a crawler keeps
+  /// every list it ever fetched, so repeat queries to the same node are
+  /// free. (Used to charge repeats too; RawQueryCount preserves that.)
+  uint64_t QueryCount() const {
+    return distinct_.load(std::memory_order_relaxed);
   }
-  void ResetApiCalls() { calls_.store(0, std::memory_order_relaxed); }
+
+  /// Every API call including repeats to the same node. O(1) relaxed load.
+  uint64_t RawQueryCount() const {
+    return raw_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes both counters and the distinct-node registry. Not safe
+  /// concurrently with counting calls.
+  void ResetQueryCounts() {
+    raw_.store(0, std::memory_order_relaxed);
+    distinct_.store(0, std::memory_order_relaxed);
+    for (auto& word : seen_words_) word.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  void Count() const { calls_.fetch_add(1, std::memory_order_relaxed); }
+  void Count(VertexId v) const {
+    raw_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t bit = 1ULL << (v & 63u);
+    // fetch_or tells us atomically whether this thread set the bit first,
+    // so the distinct count is exact even under contention.
+    const uint64_t before =
+        seen_words_[v >> 6].fetch_or(bit, std::memory_order_relaxed);
+    if ((before & bit) == 0) {
+      distinct_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   const Graph* g_;
-  mutable std::atomic<uint64_t> calls_{0};
+  mutable std::atomic<uint64_t> raw_{0};
+  mutable std::atomic<uint64_t> distinct_{0};
+  mutable std::vector<std::atomic<uint64_t>> seen_words_;
 };
 
 }  // namespace grw

@@ -9,6 +9,9 @@
 // drawn in O(1) expected time by picking endpoint u with probability
 // d_u/(d_u+d_v), then a uniform neighbor of it, rejecting the draw that
 // reproduces the other endpoint.
+//
+// Templated on the graph access policy (graph/access.h); EdgeWalk =
+// EdgeWalkT<Graph> is the unchanged full-access walk, static dispatch.
 
 #pragma once
 
@@ -19,12 +22,13 @@
 
 namespace grw {
 
-/// Random walk on the edges of G (states of G(2)).
-class EdgeWalk final : public StateWalker {
+/// Random walk on the edges of G (states of G(2)), through policy G.
+template <class G = Graph>
+class EdgeWalkT final : public StateWalker {
  public:
   /// g must be connected with at least 3 nodes (so every edge state has at
   /// least one neighbor).
-  explicit EdgeWalk(const Graph& g, bool non_backtracking = false)
+  explicit EdgeWalkT(const G& g, bool non_backtracking = false)
       : g_(&g), nb_(non_backtracking) {
     if (g.NumNodes() < 3 || g.NumEdges() < 2) {
       throw std::invalid_argument("EdgeWalk: graph too small");
@@ -101,11 +105,14 @@ class EdgeWalk final : public StateWalker {
     }
   }
 
-  const Graph* g_;
+  const G* g_;
   bool nb_;
   std::array<VertexId, 2> nodes_ = {0, 0};
   std::array<VertexId, 2> prev_ = {0, 0};
   bool has_prev_ = false;
 };
+
+/// The full-access walk every pre-policy call site uses.
+using EdgeWalk = EdgeWalkT<Graph>;
 
 }  // namespace grw

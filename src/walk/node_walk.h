@@ -4,6 +4,12 @@
 // performer for 3-node graphlets — and also the substrate of the
 // Hardiman–Katzir clustering-coefficient estimator, which Section 6.3.1
 // shows is SRW1 in disguise.
+//
+// Templated on the graph access policy (graph/access.h): NodeWalkT<Graph>
+// is the full-access walk (aliased as NodeWalk — unchanged code), while
+// NodeWalkT<CrawlAccess> reads every neighbor list through the crawl
+// cache/accounting layer. The dispatch is static, so the full-access
+// instantiation pays nothing for the crawl scenario existing.
 
 #pragma once
 
@@ -13,11 +19,12 @@
 
 namespace grw {
 
-/// Random walk on the nodes of G.
-class NodeWalk final : public StateWalker {
+/// Random walk on the nodes of G, reading through access policy G.
+template <class G = Graph>
+class NodeWalkT final : public StateWalker {
  public:
   /// g must be connected with at least 2 nodes.
-  explicit NodeWalk(const Graph& g, bool non_backtracking = false)
+  explicit NodeWalkT(const G& g, bool non_backtracking = false)
       : g_(&g), nb_(non_backtracking) {
     if (g.NumNodes() < 2) {
       throw std::invalid_argument("NodeWalk: graph too small");
@@ -57,11 +64,14 @@ class NodeWalk final : public StateWalker {
   VertexId Current() const { return current_; }
 
  private:
-  const Graph* g_;
+  const G* g_;
   bool nb_;
   VertexId current_ = 0;
   VertexId prev_ = 0;
   bool has_prev_ = false;
 };
+
+/// The full-access walk every pre-policy call site uses.
+using NodeWalk = NodeWalkT<Graph>;
 
 }  // namespace grw

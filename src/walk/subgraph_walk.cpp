@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "graph/access.h"
+
 namespace grw {
 
 namespace {
@@ -27,8 +29,8 @@ bool MaskRowsConnected(const uint32_t* rows, int n) {
 
 }  // namespace
 
-bool InducedSubgraphConnected(const Graph& g,
-                              std::span<const VertexId> nodes) {
+template <class G>
+bool InducedSubgraphConnected(const G& g, std::span<const VertexId> nodes) {
   const int n = static_cast<int>(nodes.size());
   if (n <= 1) return true;
   assert(n <= 32);
@@ -44,7 +46,8 @@ bool InducedSubgraphConnected(const Graph& g,
   return MaskRowsConnected(rows, n);
 }
 
-uint64_t EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
+template <class G>
+uint64_t EnumerateGdNeighbors(const G& g, std::span<const VertexId> state,
                               std::vector<VertexId>* out_neighbors,
                               GdScratch& scratch) {
   const int d = static_cast<int>(state.size());
@@ -184,12 +187,14 @@ void EnumerateGdNeighborsReference(const Graph& g,
   }
 }
 
-uint64_t SubgraphStateDegree(const Graph& g, std::span<const VertexId> state,
+template <class G>
+uint64_t SubgraphStateDegree(const G& g, std::span<const VertexId> state,
                              GdScratch& scratch) {
   return EnumerateGdNeighbors(g, state, nullptr, scratch);
 }
 
-void SubgraphWalk::Reset(Rng& rng) {
+template <class G>
+void SubgraphWalkT<G>::Reset(Rng& rng) {
   // Grow a connected d-set from a random start node by repeatedly adding a
   // random neighbor of a random member. Retry from scratch if the region
   // around the start is too small (cannot happen in a connected graph with
@@ -215,7 +220,8 @@ void SubgraphWalk::Reset(Rng& rng) {
   neighbors_valid_ = false;
 }
 
-void SubgraphWalk::Step(Rng& rng) {
+template <class G>
+void SubgraphWalkT<G>::Step(Rng& rng) {
   EnsureNeighbors();
   const size_t count = neighbors_.size() / d_;
   assert(count > 0 && "state with no G(d) neighbors in a connected graph");
@@ -236,9 +242,33 @@ void SubgraphWalk::Step(Rng& rng) {
   neighbors_valid_ = false;
 }
 
-uint64_t SubgraphWalk::DegreeOfState(
+template <class G>
+uint64_t SubgraphWalkT<G>::DegreeOfState(
     std::span<const VertexId> state_nodes) const {
   return SubgraphStateDegree(*g_, state_nodes, scratch_);
 }
+
+// The policy family is closed (graph/access.h): full access and crawl
+// access. Instantiating here keeps the hot path out of every includer
+// while still compiling both policies with full optimization context.
+template bool InducedSubgraphConnected<Graph>(const Graph&,
+                                              std::span<const VertexId>);
+template bool InducedSubgraphConnected<CrawlAccess>(
+    const CrawlAccess&, std::span<const VertexId>);
+template uint64_t EnumerateGdNeighbors<Graph>(const Graph&,
+                                              std::span<const VertexId>,
+                                              std::vector<VertexId>*,
+                                              GdScratch&);
+template uint64_t EnumerateGdNeighbors<CrawlAccess>(
+    const CrawlAccess&, std::span<const VertexId>, std::vector<VertexId>*,
+    GdScratch&);
+template uint64_t SubgraphStateDegree<Graph>(const Graph&,
+                                             std::span<const VertexId>,
+                                             GdScratch&);
+template uint64_t SubgraphStateDegree<CrawlAccess>(const CrawlAccess&,
+                                                   std::span<const VertexId>,
+                                                   GdScratch&);
+template class SubgraphWalkT<Graph>;
+template class SubgraphWalkT<CrawlAccess>;
 
 }  // namespace grw

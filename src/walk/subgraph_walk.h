@@ -17,6 +17,12 @@
 // O(d) bitmask BFS (no further adjacency probes). The pre-optimization
 // path is preserved as EnumerateGdNeighborsReference for the equivalence
 // tests and the micro-bench baseline.
+//
+// Everything here is templated on the graph access policy (graph/access.h)
+// with explicit instantiations for Graph (full access — the unchanged PR 4
+// hot path) and CrawlAccess in subgraph_walk.cpp. Each edge query and
+// neighbor-list read goes through the policy, so a crawl simulation
+// charges the enumeration its true API cost.
 
 #pragma once
 
@@ -26,6 +32,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "graph/access.h"
 #include "walk/walker.h"
 
 namespace grw {
@@ -46,12 +53,15 @@ struct GdScratch {
 /// neighbor, each sorted; returns the neighbor count. A neighbor is any
 /// connected induced d-node subgraph sharing exactly d-1 nodes with
 /// `state`. Pass out_neighbors == nullptr to count without materializing.
-uint64_t EnumerateGdNeighbors(const Graph& g, std::span<const VertexId> state,
+/// Defined in subgraph_walk.cpp; instantiated for Graph and CrawlAccess.
+template <class G>
+uint64_t EnumerateGdNeighbors(const G& g, std::span<const VertexId> state,
                               std::vector<VertexId>* out_neighbors,
                               GdScratch& scratch);
 
 /// Convenience overload with a throwaway scratch (tests, one-off calls).
-inline void EnumerateGdNeighbors(const Graph& g,
+template <class G>
+inline void EnumerateGdNeighbors(const G& g,
                                  std::span<const VertexId> state,
                                  std::vector<VertexId>* out_neighbors) {
   GdScratch scratch;
@@ -62,17 +72,19 @@ inline void EnumerateGdNeighbors(const Graph& g,
 /// adjacency-probing BFS per candidate. Kept verbatim as the behavioral
 /// reference — tests assert the accelerated path emits the identical
 /// flattened neighbor sequence, and bench_micro_hasedge uses it as the
-/// end-to-end SRW baseline.
+/// end-to-end SRW baseline. Full access only.
 void EnumerateGdNeighborsReference(const Graph& g,
                                    std::span<const VertexId> state,
                                    std::vector<VertexId>* out_neighbors);
 
 /// Degree of `state` in G(d): the number of neighbors above.
-uint64_t SubgraphStateDegree(const Graph& g, std::span<const VertexId> state,
+template <class G>
+uint64_t SubgraphStateDegree(const G& g, std::span<const VertexId> state,
                              GdScratch& scratch);
 
 /// Convenience overload with a throwaway scratch.
-inline uint64_t SubgraphStateDegree(const Graph& g,
+template <class G>
+inline uint64_t SubgraphStateDegree(const G& g,
                                     std::span<const VertexId> state) {
   GdScratch scratch;
   return SubgraphStateDegree(g, state, scratch);
@@ -80,13 +92,15 @@ inline uint64_t SubgraphStateDegree(const Graph& g,
 
 /// True iff the subgraph induced by `nodes` (<= 32 of them) is connected.
 /// Costs C(|nodes|, 2) edge queries and one bitmask BFS.
-bool InducedSubgraphConnected(const Graph& g,
-                              std::span<const VertexId> nodes);
+template <class G>
+bool InducedSubgraphConnected(const G& g, std::span<const VertexId> nodes);
 
-/// Random walk on connected induced d-node subgraphs of G, d >= 3.
-class SubgraphWalk final : public StateWalker {
+/// Random walk on connected induced d-node subgraphs of G, d >= 3,
+/// through access policy G.
+template <class G = Graph>
+class SubgraphWalkT final : public StateWalker {
  public:
-  SubgraphWalk(const Graph& g, int d, bool non_backtracking = false)
+  SubgraphWalkT(const G& g, int d, bool non_backtracking = false)
       : g_(&g), d_(d), nb_(non_backtracking) {
     if (d < 3) {
       throw std::invalid_argument("SubgraphWalk: use NodeWalk/EdgeWalk");
@@ -130,7 +144,7 @@ class SubgraphWalk final : public StateWalker {
     }
   }
 
-  const Graph* g_;
+  const G* g_;
   int d_;
   bool nb_;
   std::vector<VertexId> nodes_;  // sorted
@@ -139,5 +153,8 @@ class SubgraphWalk final : public StateWalker {
   mutable bool neighbors_valid_ = false;
   mutable GdScratch scratch_;
 };
+
+/// The full-access walk every pre-policy call site uses.
+using SubgraphWalk = SubgraphWalkT<Graph>;
 
 }  // namespace grw

@@ -19,12 +19,19 @@
 //   grw estimate <graph> --k K [--d D] [--css 0|1] [--nb 0|1]
 //       [--steps N] [--seed S] [--chains C] [--threads T] [--counts]
 //       [--target-nrmse X] [--max-steps N] [--quiet] [--no-index]
+//       [--crawl] [--budget-queries B] [--cache-size C] [--latency-us L]
 //       Random-walk estimation (the paper's Algorithm 1) on the parallel
 //       estimation engine: --chains independent chains merged into one
 //       estimate; with --target-nrmse the engine stops as soon as the
 //       batch-means relative standard error of every non-negligible
 //       concentration is below X (capped at --max-steps per chain,
-//       default --steps).
+//       default --steps). Any crawl flag simulates the paper's
+//       restricted-access setting: each chain reads the graph through a
+//       private LRU neighbor cache of --cache-size lists (0 = unbounded)
+//       with per-query accounting and optional simulated latency, and
+//       --budget-queries stops the run once B distinct neighbor-list
+//       fetches were spent across chains. Estimates are bit-identical to
+//       the full-access run; only cost and stopping change.
 //
 // Every place a <graph> is taken, text edge lists, `.grwb` snapshots, and
 // registry dataset names are all accepted (format auto-detected).
@@ -74,6 +81,10 @@ int Usage() {
       "  estimate <graph> --k K [--chains C] [--target-nrmse X]\n"
       "           [--max-steps N] ...     random-walk estimation with\n"
       "                                   convergence-driven stopping\n"
+      "           [--crawl] [--budget-queries B] [--cache-size C]\n"
+      "           [--latency-us L]         crawl scenario: LRU-cached\n"
+      "                                   restricted access, stop at B\n"
+      "                                   distinct neighbor fetches\n"
       "  <graph> may be a text edge list, a .grwb snapshot, or a dataset\n"
       "  name from `grw datasets`.\n",
       stderr);
@@ -288,6 +299,28 @@ int CmdEstimate(const grw::Flags& flags) {
     throw std::runtime_error("--steps / --max-steps must be >= 1");
   }
   options.max_steps = static_cast<uint64_t>(max_steps);
+
+  // Crawl scenario: any crawl knob switches every chain onto its own
+  // CrawlAccess (LRU neighbor cache + per-query accounting). Estimates
+  // are bit-identical to full access; the budget adds a stopping rule on
+  // distinct neighbor-list fetches across all chains.
+  const int64_t budget_queries = flags.GetInt("budget-queries", 0);
+  const int64_t cache_size = flags.GetInt("cache-size", 0);
+  const double latency_us = flags.GetDouble("latency-us", 0.0);
+  if (budget_queries < 0 || cache_size < 0 || latency_us < 0.0) {
+    throw std::runtime_error(
+        "--budget-queries / --cache-size / --latency-us must be >= 0");
+  }
+  // Presence-based: `--budget-queries 0` / `--latency-us 0` still switch
+  // the run onto crawl accounting (with no budget / no latency), exactly
+  // like `--cache-size 0` means crawl with an unbounded cache.
+  options.crawl.enabled = flags.GetBool("crawl") ||
+                          flags.Has("budget-queries") ||
+                          flags.Has("cache-size") || flags.Has("latency-us");
+  options.crawl.budget_queries = static_cast<uint64_t>(budget_queries);
+  options.crawl.cache_entries = static_cast<uint64_t>(cache_size);
+  options.crawl.latency_us = latency_us;
+
   if (options.target_nrmse > 0.0 || options.chains > 1) {
     // Fix the round slicing here so --quiet (which only drops the
     // progress callback) cannot change the batch structure and thus the
@@ -317,6 +350,9 @@ int CmdEstimate(const grw::Flags& flags) {
       grw::Table::Duration(run.seconds);
   if (options.target_nrmse > 0.0) {
     title += run.converged ? ", converged" : ", NOT converged";
+  }
+  if (options.crawl.budget_queries > 0) {
+    title += run.budget_exhausted ? ", budget exhausted" : ", under budget";
   }
   grw::Table table(title);
   table.SetHeader({"graphlet", "name",
@@ -364,6 +400,42 @@ int CmdEstimate(const grw::Flags& flags) {
                   options.target_nrmse, run.max_rel_error);
     }
     std::printf("\n");
+  }
+  if (options.crawl.enabled && !quiet) {
+    const grw::CrawlStats& a = run.access;
+    std::printf(
+        "crawl cost: %llu distinct queries (%llu fetches, %llu re-fetches "
+        "after eviction), %.1f%% cache hit rate, %llu evictions\n",
+        static_cast<unsigned long long>(a.distinct_fetches),
+        static_cast<unsigned long long>(a.fetches),
+        static_cast<unsigned long long>(a.Refetches()),
+        100.0 * a.HitRate(),
+        static_cast<unsigned long long>(a.evictions));
+    if (options.crawl.latency_us > 0.0) {
+      // Chains crawl concurrently, so simulated API latency amortizes
+      // across them the way wall-clock does.
+      const double sim_seconds =
+          a.simulated_latency_us / 1e6 / options.chains;
+      const double effective_seconds = run.seconds + sim_seconds;
+      std::printf(
+          "simulated latency: %.2fs/chain at %.0fus/query -> effective "
+          "%.3fM steps/s\n",
+          sim_seconds, options.crawl.latency_us,
+          effective_seconds > 0.0
+              ? static_cast<double>(run.merged.steps) / effective_seconds /
+                    1e6
+              : 0.0);
+    }
+    if (options.crawl.budget_queries > 0) {
+      std::printf("budget: %s — %llu of %llu budgeted distinct queries "
+                  "spent, %llu total steps\n",
+                  run.budget_exhausted ? "exhausted" : "not exhausted",
+                  static_cast<unsigned long long>(
+                      run.access.distinct_fetches),
+                  static_cast<unsigned long long>(
+                      options.crawl.budget_queries),
+                  static_cast<unsigned long long>(run.merged.steps));
+    }
   }
   return 0;
 }
