@@ -26,19 +26,29 @@
 // work; enumeration dominates an SRW step, so steps/s here is the
 // end-to-end walk rate (bench_micro_walks has the full-walk variant).
 //
+// Part 3 — live walk throughput, scalar vs batched kernel
+// (walk/batched_walk.h): real transitions (StateDegree + Step, draws and
+// all) on the indexed graph, one scalar chain vs 8 lanes in lockstep on
+// one thread. Total transitions per second — the number the estimator's
+// hot loop actually sees.
+//
 // Flags:
 //   --n N                  Holme-Kim nodes (default 250000 -> ~1.25M edges)
 //   --param M              Holme-Kim edges per node (default 5)
 //   --queries Q            queries per regime (default 2000000)
 //   --srw3-steps N         trajectory length for d=3 (default 2000)
 //   --srw4-steps N         trajectory length for d=4 (default 200)
+//   --lanes W              batched kernel lanes (default 8)
 //   --runs R               best-of-R timing (default 3)
 //   --check-speedup X      exit 1 unless indexed speedup >= X on BOTH the
-//                          miss-heavy and hub-hub regimes (CI gate)
+//                          miss-heavy and hub-hub regimes AND >= 1.0x on
+//                          EVERY regime (the index must never lose) (CI)
 //   --check-walk-speedup Y exit 1 unless scratch+idx/reference >= Y for
 //                          BOTH SRW3 and SRW4 (CI gate)
+//   --check-batched-speedup Z exit 1 unless batched/scalar live-walk
+//                          throughput >= Z for BOTH SRW3 and SRW4 (CI)
 //   --csv PATH             mirror of the Part 1 (HasEdge regimes) table
-//   --json PATH            machine-readable mirror of BOTH parts (the
+//   --json PATH            machine-readable mirror of ALL parts (the
 //                          BENCH_HASEDGE.json trajectory format)
 
 #include <algorithm>
@@ -53,6 +63,7 @@
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "walk/batched_walk.h"
 #include "walk/subgraph_walk.h"
 
 namespace {
@@ -90,6 +101,10 @@ std::pair<double, uint64_t> TimeQueries(const QuerySet& q, int runs,
   return {seconds / static_cast<double>(q.u.size()) * 1e9, hits};
 }
 
+// Keeps a benched computation's result alive without benchmark-library
+// dependencies (this bench is a standalone main).
+volatile uint64_t g_sink = 0;
+
 std::vector<VertexId> SampleFrom(const std::vector<VertexId>& pool,
                                  size_t count, grw::Rng& rng) {
   std::vector<VertexId> out(count);
@@ -114,15 +129,21 @@ int main(int argc, char** argv) {
   const size_t queries =
       static_cast<size_t>(flags.GetInt("queries", 2000000));
   const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const int lanes = static_cast<int>(flags.GetInt("lanes", 8));
+  const auto linear_cutoff =
+      static_cast<uint32_t>(flags.GetInt("linear-cutoff", 0));
   const double check_speedup = flags.GetDouble("check-speedup", 0.0);
   const double check_walk = flags.GetDouble("check-walk-speedup", 0.0);
+  const double check_batched = flags.GetDouble("check-batched-speedup", 0.0);
 
   grw::Rng gen_rng(7);
   grw::WallTimer gen_timer;
   const Graph plain = grw::HolmeKim(n, param, 0.3, gen_rng);
   Graph indexed = plain;
   grw::WallTimer index_timer;
-  indexed.BuildAdjacencyIndex();
+  grw::AdjacencyIndexOptions index_options;
+  if (linear_cutoff > 0) index_options.linear_cutoff = linear_cutoff;
+  indexed.BuildAdjacencyIndex(index_options);
   const double index_s = index_timer.Seconds();
   const grw::AdjacencyIndex& index = *indexed.adjacency_index();
   std::fprintf(stderr,
@@ -190,6 +211,8 @@ int main(int argc, char** argv) {
   std::vector<grw::bench::JsonMetric> metrics;
   double miss_speedup = 0.0;
   double hub_speedup = 0.0;
+  double min_speedup = 1e300;
+  std::string min_regime;
   for (const QuerySet& q : sets) {
     const auto [binary_ns, binary_hits] =
         TimeQueries(q, runs, [&](VertexId a, VertexId b) {
@@ -209,6 +232,10 @@ int main(int argc, char** argv) {
     const double speedup = binary_ns / indexed_ns;
     if (q.name == "miss-heavy") miss_speedup = speedup;
     if (q.name == "hub-hub") hub_speedup = speedup;
+    if (speedup < min_speedup) {
+      min_speedup = speedup;
+      min_regime = q.name;
+    }
     table.AddRow({q.name, grw::Table::Num(binary_ns, 1),
                   grw::Table::Num(indexed_ns, 1),
                   grw::Table::Num(speedup, 2) + "x",
@@ -291,6 +318,70 @@ int main(int argc, char** argv) {
   }
   walk_table.Print();
 
+  // ---- Part 3: live walk throughput, scalar vs batched kernel ----------
+  grw::Table batched_table(
+      "Live G(d) walk transitions/s, scalar chain vs " +
+      std::to_string(lanes) + "-lane batched kernel (best of " +
+      std::to_string(runs) + ")");
+  batched_table.SetHeader(
+      {"walk", "transitions", "scalar", "batched", "speedup"});
+  double srw3_batched_speedup = 0.0;
+  double srw4_batched_speedup = 0.0;
+  for (const int d : {3, 4}) {
+    const auto steps = static_cast<size_t>(flags.GetInt(
+        "srw" + std::to_string(d) + "-steps", d == 3 ? 2000 : 200));
+    // Both sides do the estimator's per-transition work — StateDegree
+    // then Step — on the indexed graph, re-seeded identically per run.
+    const double scalar_s = BestOfSeconds(runs, [&] {
+      grw::SubgraphWalk walk(indexed, d);
+      grw::Rng rng(23 * d);
+      walk.Reset(rng);
+      uint64_t sink = 0;
+      for (size_t s = 0; s < steps; ++s) {
+        sink += walk.StateDegree();
+        walk.Step(rng);
+      }
+      g_sink = g_sink + sink;
+    });
+    const double batched_s = BestOfSeconds(runs, [&] {
+      grw::BatchedWalk walk(indexed, d, lanes);
+      std::vector<grw::Rng> rng(lanes);
+      for (int j = 0; j < lanes; ++j) {
+        rng[j].Seed(grw::DeriveSeed(23 * d, j));
+        walk.ResetLane(j, rng[j]);
+      }
+      uint64_t sink = 0;
+      for (size_t s = 0; s < steps; ++s) {
+        walk.PrepareLanes();
+        for (int j = 0; j < lanes; ++j) {
+          sink += walk.LaneStateDegree(j);
+          walk.StepLane(j, rng[j]);
+        }
+      }
+      g_sink = g_sink + sink;
+    });
+    // Aggregate throughput: the batched run advances lanes * steps
+    // transitions in batched_s seconds on the same single thread.
+    const double scalar_rate = static_cast<double>(steps) / scalar_s;
+    const double batched_rate =
+        static_cast<double>(steps) * lanes / batched_s;
+    const double speedup = batched_rate / scalar_rate;
+    if (d == 3) srw3_batched_speedup = speedup;
+    if (d == 4) srw4_batched_speedup = speedup;
+    batched_table.AddRow(
+        {"SRW" + std::to_string(d),
+         std::to_string(steps) + "x" + std::to_string(lanes),
+         grw::Table::Num(scalar_rate, 0), grw::Table::Num(batched_rate, 0),
+         grw::Table::Num(speedup, 2) + "x"});
+    const std::string id = "srw" + std::to_string(d);
+    metrics.push_back(
+        {id + "_scalar_walk_steps_per_s", scalar_rate, "steps/s"});
+    metrics.push_back(
+        {id + "_batched_steps_per_s", batched_rate, "steps/s"});
+    metrics.push_back({id + "_batched_speedup", speedup, "x"});
+  }
+  batched_table.Print();
+
   grw::bench::MaybeWriteCsv(flags, table);
   grw::bench::MaybeWriteJson(flags, "micro_hasedge", plain.Summary(),
                              metrics);
@@ -303,10 +394,20 @@ int main(int argc, char** argv) {
                    "(miss-heavy %.2fx, hub-hub %.2fx)\n",
                    check_speedup, miss_speedup, hub_speedup);
       ok = false;
+    } else if (min_speedup < 1.0) {
+      // The index must pay for itself on every regime: a single regime
+      // below parity means some workload would be better off without it.
+      std::fprintf(stderr,
+                   "FAIL: indexed HasEdge loses on regime %s "
+                   "(%.2fx < 1.0x)\n",
+                   min_regime.c_str(), min_speedup);
+      ok = false;
     } else {
       std::printf("OK: indexed HasEdge %.1fx (miss-heavy) / %.1fx "
-                  "(hub-hub), required >= %.1fx\n",
-                  miss_speedup, hub_speedup, check_speedup);
+                  "(hub-hub), required >= %.1fx; worst regime %s %.2fx "
+                  ">= 1.0x\n",
+                  miss_speedup, hub_speedup, check_speedup,
+                  min_regime.c_str(), min_speedup);
     }
   }
   if (check_walk > 0.0) {
@@ -320,6 +421,22 @@ int main(int argc, char** argv) {
       std::printf("OK: SRW3 %.1fx / SRW4 %.1fx steps/s vs reference, "
                   "required >= %.2fx\n",
                   srw3_speedup, srw4_speedup, check_walk);
+    }
+  }
+  if (check_batched > 0.0) {
+    if (srw3_batched_speedup < check_batched ||
+        srw4_batched_speedup < check_batched) {
+      std::fprintf(stderr,
+                   "FAIL: batched walk throughput below %.2fx scalar "
+                   "(SRW3 %.2fx, SRW4 %.2fx)\n",
+                   check_batched, srw3_batched_speedup,
+                   srw4_batched_speedup);
+      ok = false;
+    } else {
+      std::printf("OK: batched kernel SRW3 %.2fx / SRW4 %.2fx scalar "
+                  "throughput, required >= %.2fx\n",
+                  srw3_batched_speedup, srw4_batched_speedup,
+                  check_batched);
     }
   }
   return ok ? 0 : 1;

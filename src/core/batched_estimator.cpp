@@ -1,0 +1,169 @@
+#include "core/batched_estimator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/alpha.h"
+#include "graph/access.h"
+#include "util/rng.h"
+
+namespace grw {
+
+template <class G>
+BatchedEstimatorT<G>::BatchedEstimatorT(const G& g,
+                                        const EstimatorConfig& config,
+                                        int lanes)
+    : access_(static_cast<size_t>(lanes < 1 ? 1 : lanes), &g),
+      config_(ValidateEstimatorConfig(config)),
+      l_(config.k - config.d + 1),
+      lanes_(lanes),
+      num_types_(GraphletCatalog::ForSize(config.k).NumTypes()),
+      classifier_(&GraphletClassifier::ForSize(config.k)),
+      alpha_(AlphaTable(config.k, config.d)),
+      walk_(g, config.d, lanes, config.nb) {
+  // walk_'s constructor already rejected lanes < 1 / a too-small graph.
+  if (config.css && config.d <= 2) {
+    css_table_ = &CssTable::For(config.k, config.d);
+  }
+  rng_.resize(lanes_);
+  windows_.reserve(lanes_);
+  for (int j = 0; j < lanes_; ++j) windows_.emplace_back(g, config_.k, l_);
+  active_.assign(lanes_, 1);
+  weights_.assign(static_cast<size_t>(lanes_) * num_types_, 0.0);
+  samples_.assign(static_cast<size_t>(lanes_) * num_types_, 0);
+  steps_.assign(lanes_, 0);
+  valid_.assign(lanes_, 0);
+}
+
+template <class G>
+BatchedEstimatorT<G>::BatchedEstimatorT(std::span<const G* const> lane_access,
+                                        const EstimatorConfig& config)
+    : access_(lane_access.begin(), lane_access.end()),
+      config_(ValidateEstimatorConfig(config)),
+      l_(config.k - config.d + 1),
+      lanes_(static_cast<int>(lane_access.size())),
+      num_types_(GraphletCatalog::ForSize(config.k).NumTypes()),
+      classifier_(&GraphletClassifier::ForSize(config.k)),
+      alpha_(AlphaTable(config.k, config.d)),
+      walk_(lane_access, config.d, config.nb) {
+  if (config.css && config.d <= 2) {
+    css_table_ = &CssTable::For(config.k, config.d);
+  }
+  rng_.resize(lanes_);
+  windows_.reserve(lanes_);
+  for (int j = 0; j < lanes_; ++j) {
+    windows_.emplace_back(*access_[j], config_.k, l_);
+  }
+  active_.assign(lanes_, 1);
+  weights_.assign(static_cast<size_t>(lanes_) * num_types_, 0.0);
+  samples_.assign(static_cast<size_t>(lanes_) * num_types_, 0);
+  steps_.assign(lanes_, 0);
+  valid_.assign(lanes_, 0);
+}
+
+template <class G>
+void BatchedEstimatorT<G>::Reset(uint64_t base_seed, uint64_t first_stream) {
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+  std::fill(samples_.begin(), samples_.end(), 0);
+  std::fill(steps_.begin(), steps_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  // Lane by lane, not round by round: Reset is cold-cache anyway, and the
+  // serial order keeps each lane's access-call sequence byte-for-byte the
+  // scalar chain's (which matters for crawl accounting).
+  for (int j = 0; j < lanes_; ++j) {
+    rng_[j].Seed(DeriveSeed(base_seed, first_stream + j));
+    walk_.ResetLane(j, rng_[j]);
+    windows_[j].Clear();
+    windows_[j].Push(walk_.LaneNodes(j), 0);
+    // Fill the window: l states need l-1 transitions (Algorithm 1 line 3).
+    for (int i = 1; i < l_; ++i) {
+      windows_[j].SetNewestDegree(walk_.LaneStateDegree(j));
+      walk_.StepLane(j, rng_[j]);
+      windows_[j].Push(walk_.LaneNodes(j), 0);
+    }
+    for (uint64_t i = 0; i < config_.burn_in; ++i) {
+      windows_[j].SetNewestDegree(walk_.LaneStateDegree(j));
+      walk_.StepLane(j, rng_[j]);
+      windows_[j].Push(walk_.LaneNodes(j), 0);
+    }
+  }
+}
+
+template <class G>
+void BatchedEstimatorT<G>::Run(uint64_t steps) {
+  for (uint64_t i = 0; i < steps; ++i) {
+    // Crawl budget: a lane stops before the next transition once its
+    // access has spent its distinct-query allowance — the same check, at
+    // the same point, as the scalar Run loop. The mask also keeps
+    // PrepareLanes from touching (and charging) finished lanes. Static
+    // dispatch: for Graph none of this compiles into the loop.
+    if constexpr (kAccessHasQueryBudget<G>) {
+      int live = 0;
+      for (int j = 0; j < lanes_; ++j) {
+        active_[j] = Access(j).BudgetExhausted() ? 0 : 1;
+        live += active_[j];
+      }
+      if (live == 0) return;
+      walk_.PrepareLanes(active_);
+    } else {
+      walk_.PrepareLanes();
+    }
+    for (int j = 0; j < lanes_; ++j) {
+      if constexpr (kAccessHasQueryBudget<G>) {
+        if (!active_[j]) continue;
+      }
+      // A state's G(d)-degree becomes known before we leave it; snapshot
+      // it, transition, then evaluate the new window — the scalar loop
+      // body, per lane.
+      windows_[j].SetNewestDegree(walk_.LaneStateDegree(j));
+      walk_.StepLane(j, rng_[j]);
+      windows_[j].Push(walk_.LaneNodes(j), 0);
+      ++steps_[j];
+      Accumulate(j);
+    }
+  }
+}
+
+template <class G>
+void BatchedEstimatorT<G>::Accumulate(int lane) {
+  if (!windows_[lane].Valid()) return;  // < k distinct nodes: invalid
+  const uint32_t mask = windows_[lane].Mask();
+  const MaskInfo& info = classifier_->Info(mask);
+  assert(info.type >= 0 && "window union must induce a connected subgraph");
+  const double w = WindowSampleWeight(Access(lane), config_, l_, css_table_,
+                                      alpha_, windows_[lane], info, scratch_);
+  weights_[static_cast<size_t>(lane) * num_types_ + info.type] += w;
+  samples_[static_cast<size_t>(lane) * num_types_ + info.type]++;
+  ++valid_[lane];
+}
+
+template <class G>
+EstimateResult BatchedEstimatorT<G>::Result(int lane) const {
+  assert(lane >= 0 && lane < lanes_);
+  EstimateResult result;
+  const size_t base = static_cast<size_t>(lane) * num_types_;
+  result.weights.assign(weights_.begin() + base,
+                        weights_.begin() + base + num_types_);
+  result.samples.assign(samples_.begin() + base,
+                        samples_.begin() + base + num_types_);
+  result.steps = steps_[lane];
+  result.valid_samples = valid_[lane];
+  FinalizeConcentrations(result);
+  return result;
+}
+
+template <class G>
+bool BatchedEstimatorT<G>::LaneBudgetExhausted(int lane) const {
+  if constexpr (kAccessHasQueryBudget<G>) {
+    return Access(lane).BudgetExhausted();
+  } else {
+    (void)lane;
+    return false;
+  }
+}
+
+// Closed policy family (graph/access.h): full access + crawl access.
+template class BatchedEstimatorT<Graph>;
+template class BatchedEstimatorT<CrawlAccess>;
+
+}  // namespace grw

@@ -1,0 +1,108 @@
+// W-lane batched counterpart of GraphletEstimatorT (core/estimator.h).
+//
+// Each lane is one full Algorithm-1 chain: its own RNG stream, its own
+// sliding sample window, its own weight/sample accumulators. The lanes
+// advance in lockstep through BatchedWalkT (walk/batched_walk.h), which
+// is where the throughput comes from — cross-lane prefetch and batched
+// signature rejection amortize memory latency over W chains.
+//
+// Equivalence contract (tests/batched_walk_test.cpp): lane j seeded
+// DeriveSeed(base_seed, first_stream + j) produces, bit for bit, the same
+// EstimateResult as a scalar GraphletEstimatorT chain Reset with that
+// seed and Run for the same number of steps — same RNG draw order
+// (delegated to BatchedWalkT's lane contract), same window contents, same
+// weight arithmetic (the shared WindowSampleWeight), same accumulation
+// order within the lane. The engine exploits this to switch batched
+// kernels on behind EngineOptions::batch without moving a single
+// estimate.
+//
+// Crawl lanes (G = CrawlAccess) read through per-lane private access
+// objects and check their own budget before every transition, exactly
+// where the scalar Run loop checks it — so each lane stops on the same
+// transition, with the same query accounting, as the scalar chain it
+// replaces.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"
+#include "walk/batched_walk.h"
+
+namespace grw {
+
+/// W independent estimator chains in lockstep over access policy G.
+/// Defined in batched_estimator.cpp; instantiated for Graph and
+/// CrawlAccess.
+template <class G = Graph>
+class BatchedEstimatorT {
+ public:
+  /// All lanes walk one shared access object (full-access engine).
+  BatchedEstimatorT(const G& g, const EstimatorConfig& config, int lanes);
+
+  /// Lane j reads through *lane_access[j] (crawl engine: one private
+  /// crawler, with its own budget share, per lane).
+  BatchedEstimatorT(std::span<const G* const> lane_access,
+                    const EstimatorConfig& config);
+
+  int lanes() const { return lanes_; }
+  const EstimatorConfig& config() const { return config_; }
+  int NumTypes() const { return num_types_; }
+
+  /// Starts every lane afresh: lane j's RNG stream is
+  /// DeriveSeed(base_seed, first_stream + j), mirroring the engine's
+  /// chain seeding. Each lane then replays the scalar Reset exactly:
+  /// random initial state, l-1 window-fill transitions, burn-in. Never
+  /// budget-gated (a crawl needs at least the seeding transitions).
+  void Reset(uint64_t base_seed, uint64_t first_stream);
+
+  /// Advances every live lane up to `steps` transitions, accumulating one
+  /// candidate sample per lane per transition. Crawl lanes whose budget
+  /// is exhausted sit out the remaining rounds (the scalar chain would
+  /// have returned at the same transition). Returns early once no lane
+  /// is live.
+  void Run(uint64_t steps);
+
+  /// Lane `lane`'s accumulated estimates — bit-identical to the scalar
+  /// chain with the same stream.
+  EstimateResult Result(int lane) const;
+
+  /// Transitions lane `lane` has accumulated (excludes Reset's window
+  /// fill and burn-in, like the scalar Steps()).
+  uint64_t LaneSteps(int lane) const { return steps_[lane]; }
+
+  /// Whether lane `lane`'s access reports its query budget exhausted.
+  /// Always false for budget-free access policies.
+  bool LaneBudgetExhausted(int lane) const;
+
+ private:
+  const G& Access(int lane) const { return *access_[lane]; }
+  void Accumulate(int lane);
+
+  std::vector<const G*> access_;  // per lane (may all alias one object)
+  EstimatorConfig config_;
+  int l_;
+  int lanes_;
+  int num_types_;
+  const GraphletClassifier* classifier_;
+  std::vector<int64_t> alpha_;
+  const CssTable* css_table_ = nullptr;  // only when css && d <= 2
+
+  BatchedWalkT<G> walk_;
+  std::vector<Rng> rng_;                   // per lane
+  std::vector<SampleWindowT<G>> windows_;  // per lane
+  std::vector<uint8_t> active_;            // Run's per-round work list
+
+  std::vector<double> weights_;     // lanes * num_types
+  std::vector<uint64_t> samples_;   // lanes * num_types
+  std::vector<uint64_t> steps_;     // per lane
+  std::vector<uint64_t> valid_;     // per lane
+  mutable GdScratch scratch_;
+};
+
+/// The full-access batched estimator.
+using BatchedEstimator = BatchedEstimatorT<Graph>;
+
+}  // namespace grw

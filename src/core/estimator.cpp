@@ -29,9 +29,11 @@ std::unique_ptr<StateWalker> MakeWalker(const G& g, int d, bool nb) {
   return std::make_unique<SubgraphWalkT<G>>(g, d, nb);
 }
 
+}  // namespace
+
 // Validated before any member initializer touches the k-indexed
 // singletons (catalog, classifier, CSS tables).
-EstimatorConfig ValidateConfig(const EstimatorConfig& config) {
+EstimatorConfig ValidateEstimatorConfig(const EstimatorConfig& config) {
   if (config.k < 3 || config.k > kMaxGraphletSize) {
     throw std::invalid_argument("GraphletEstimator: k out of range");
   }
@@ -41,20 +43,54 @@ EstimatorConfig ValidateConfig(const EstimatorConfig& config) {
   return config;
 }
 
-// Whether the access policy carries a query budget the run loop must poll
-// (CrawlAccess). For Graph this is false and the poll compiles away.
 template <class G>
-constexpr bool kHasQueryBudget = requires(const G& g) {
-  { g.BudgetExhausted() } -> std::convertible_to<bool>;
-};
+double WindowSampleWeight(const G& g, const EstimatorConfig& config, int l,
+                          const CssTable* css_table,
+                          const std::vector<int64_t>& alpha,
+                          const SampleWindowT<G>& window,
+                          const MaskInfo& info, GdScratch& scratch) {
+  if (css_table != nullptr) {
+    // CSS, d <= 2: compiled interior-coefficient tables.
+    return 1.0 / css_table->Eval(info, window.UnionNodes(), g, config.nb);
+  }
+  if (config.css) {
+    // CSS, d >= 3: direct Algorithm-3 evaluation with per-state G(d)
+    // degree probes (expensive — the paper's "SRW3CSS" caveat).
+    const auto probe = [&g, &scratch](std::span<const VertexId> state) {
+      return SubgraphStateDegree(g, state, scratch);
+    };
+    return 1.0 / CssWeightDirect(config.k, config.d, info,
+                                 window.UnionNodes(), probe, config.nb);
+  }
+  // Base estimator: 1 / (alpha^k_i * ~pi_e(X)) with
+  // ~pi_e = prod over interior states of 1/degree (Theorem 2; nominal
+  // degrees under NB, Section 4.2).
+  const int64_t a = alpha[info.type];
+  assert(a > 0 && "observed a graphlet the walk cannot produce");
+  double interior_product = 1.0;
+  for (int t = 1; t + 1 < l; ++t) {
+    uint64_t deg = window.State(t).degree;
+    assert(deg > 0 && "interior state degree not recorded");
+    if (config.nb && deg > 1) deg -= 1;
+    interior_product *= static_cast<double>(deg);
+  }
+  return interior_product / static_cast<double>(a);
+}
 
-}  // namespace
+template double WindowSampleWeight<Graph>(
+    const Graph&, const EstimatorConfig&, int, const CssTable*,
+    const std::vector<int64_t>&, const SampleWindowT<Graph>&,
+    const MaskInfo&, GdScratch&);
+template double WindowSampleWeight<CrawlAccess>(
+    const CrawlAccess&, const EstimatorConfig&, int, const CssTable*,
+    const std::vector<int64_t>&, const SampleWindowT<CrawlAccess>&,
+    const MaskInfo&, GdScratch&);
 
 template <class G>
 GraphletEstimatorT<G>::GraphletEstimatorT(const G& g,
                                           const EstimatorConfig& config)
     : g_(&g),
-      config_(ValidateConfig(config)),
+      config_(ValidateEstimatorConfig(config)),
       l_(config.k - config.d + 1),
       num_types_(GraphletCatalog::ForSize(config.k).NumTypes()),
       classifier_(&GraphletClassifier::ForSize(config.k)),
@@ -98,7 +134,7 @@ void GraphletEstimatorT<G>::Run(uint64_t steps) {
     // Crawl budget: stop before the next transition once the access has
     // spent its distinct-query allowance. Static dispatch — for Graph
     // this branch does not exist in the compiled loop.
-    if constexpr (kHasQueryBudget<G>) {
+    if constexpr (kAccessHasQueryBudget<G>) {
       if (g_->BudgetExhausted()) return;
     }
     // A state's G(d)-degree becomes known before we leave it; snapshot it,
@@ -125,33 +161,8 @@ void GraphletEstimatorT<G>::Accumulate() {
 
 template <class G>
 double GraphletEstimatorT<G>::SampleWeight(const MaskInfo& info) const {
-  if (css_table_ != nullptr) {
-    // CSS, d <= 2: compiled interior-coefficient tables.
-    return 1.0 /
-           css_table_->Eval(info, window_.UnionNodes(), *g_, config_.nb);
-  }
-  if (config_.css) {
-    // CSS, d >= 3: direct Algorithm-3 evaluation with per-state G(d)
-    // degree probes (expensive — the paper's "SRW3CSS" caveat).
-    const auto probe = [this](std::span<const VertexId> state) {
-      return SubgraphStateDegree(*g_, state, gd_scratch_);
-    };
-    return 1.0 / CssWeightDirect(config_.k, config_.d, info,
-                                 window_.UnionNodes(), probe, config_.nb);
-  }
-  // Base estimator: 1 / (alpha^k_i * ~pi_e(X)) with
-  // ~pi_e = prod over interior states of 1/degree (Theorem 2; nominal
-  // degrees under NB, Section 4.2).
-  const int64_t alpha = alpha_[info.type];
-  assert(alpha > 0 && "observed a graphlet the walk cannot produce");
-  double interior_product = 1.0;
-  for (int t = 1; t + 1 < l_; ++t) {
-    uint64_t deg = window_.State(t).degree;
-    assert(deg > 0 && "interior state degree not recorded");
-    if (config_.nb && deg > 1) deg -= 1;
-    interior_product *= static_cast<double>(deg);
-  }
-  return interior_product / static_cast<double>(alpha);
+  return WindowSampleWeight(*g_, config_, l_, css_table_, alpha_, window_,
+                            info, gd_scratch_);
 }
 
 template <class G>

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "core/batch_means.h"
+#include "core/batched_estimator.h"
 #include "core/multi_estimator.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -15,34 +17,70 @@ namespace grw {
 
 namespace {
 
-// A chain the engine can drive: one RNG stream producing one or more
-// EstimateResult streams (GraphletEstimator has one; MultiSizeEstimator
-// has one per registered size).
+// A unit the engine can drive: one or more engine chains advanced by one
+// task. Scalar units hold one chain (one RNG stream); batched units hold
+// a lane batch of chains walked in lockstep (BatchedEstimator) — but
+// chain c keeps the RNG stream DeriveSeed(base_seed, first_stream + c)
+// either way, which is what keeps the two modes bit-identical. Each
+// chain produces one or more EstimateResult streams (GraphletEstimator
+// has one; MultiSizeEstimator has one per registered size).
 class EngineChain {
  public:
   virtual ~EngineChain() = default;
-  virtual void Reset(uint64_t seed) = 0;
+  /// Chains in this unit; chain indices below are unit-local [0, n).
+  virtual int NumChains() const { return 1; }
+  /// Chain c of the unit seeds its stream DeriveSeed(base_seed,
+  /// first_stream + c).
+  virtual void Reset(uint64_t base_seed, uint64_t first_stream) = 0;
   virtual void Run(uint64_t steps) = 0;
-  virtual void Snapshot(std::vector<EstimateResult>* out) const = 0;
+  virtual void Snapshot(int chain, std::vector<EstimateResult>* out)
+      const = 0;
   /// Crawl chains: true once the chain's distinct-query share is spent
-  /// (the chain's Run() calls become no-ops from then on).
-  virtual bool BudgetExhausted() const { return false; }
+  /// (the chain sits out the unit's Run() rounds from then on).
+  virtual bool BudgetExhausted(int chain) const {
+    (void)chain;
+    return false;
+  }
   /// Crawl chains: the chain's private access accounting, else nullptr.
-  virtual const CrawlStats* AccessStats() const { return nullptr; }
+  virtual const CrawlStats* AccessStats(int chain) const {
+    (void)chain;
+    return nullptr;
+  }
 };
 
 class SingleSizeChain final : public EngineChain {
  public:
   SingleSizeChain(const Graph& g, const EstimatorConfig& config)
       : estimator_(g, config) {}
-  void Reset(uint64_t seed) override { estimator_.Reset(seed); }
+  void Reset(uint64_t base_seed, uint64_t first_stream) override {
+    estimator_.Reset(DeriveSeed(base_seed, first_stream));
+  }
   void Run(uint64_t steps) override { estimator_.Run(steps); }
-  void Snapshot(std::vector<EstimateResult>* out) const override {
+  void Snapshot(int, std::vector<EstimateResult>* out) const override {
     out->assign(1, estimator_.Result());
   }
 
  private:
   GraphletEstimator estimator_;
+};
+
+// A lane batch of full-access chains in lockstep.
+class BatchedSingleSizeChain final : public EngineChain {
+ public:
+  BatchedSingleSizeChain(const Graph& g, const EstimatorConfig& config,
+                         int lanes)
+      : estimator_(g, config, lanes) {}
+  int NumChains() const override { return estimator_.lanes(); }
+  void Reset(uint64_t base_seed, uint64_t first_stream) override {
+    estimator_.Reset(base_seed, first_stream);
+  }
+  void Run(uint64_t steps) override { estimator_.Run(steps); }
+  void Snapshot(int chain, std::vector<EstimateResult>* out) const override {
+    out->assign(1, estimator_.Result(chain));
+  }
+
+ private:
+  BatchedEstimator estimator_;
 };
 
 // One crawler: a private LRU-cached access (its local copy of whatever it
@@ -52,20 +90,62 @@ class CrawlSingleSizeChain final : public EngineChain {
   CrawlSingleSizeChain(const Graph& g, const EstimatorConfig& config,
                        const CrawlAccess::Options& access_options)
       : access_(g, access_options), estimator_(access_, config) {}
-  void Reset(uint64_t seed) override {
+  void Reset(uint64_t base_seed, uint64_t first_stream) override {
     access_.ResetCache();  // a fresh crawler: empty cache, zero counters
-    estimator_.Reset(seed);
+    estimator_.Reset(DeriveSeed(base_seed, first_stream));
   }
   void Run(uint64_t steps) override { estimator_.Run(steps); }
-  void Snapshot(std::vector<EstimateResult>* out) const override {
+  void Snapshot(int, std::vector<EstimateResult>* out) const override {
     out->assign(1, estimator_.Result());
   }
-  bool BudgetExhausted() const override { return access_.BudgetExhausted(); }
-  const CrawlStats* AccessStats() const override { return &access_.stats(); }
+  bool BudgetExhausted(int) const override {
+    return access_.BudgetExhausted();
+  }
+  const CrawlStats* AccessStats(int) const override {
+    return &access_.stats();
+  }
 
  private:
   CrawlAccess access_;
   GraphletEstimatorT<CrawlAccess> estimator_;
+};
+
+// A lane batch of crawl chains: one private crawler per lane (with that
+// lane's budget share), so lane accounting matches the scalar chains.
+class BatchedCrawlSingleSizeChain final : public EngineChain {
+ public:
+  BatchedCrawlSingleSizeChain(
+      const Graph& g, const EstimatorConfig& config,
+      const std::vector<CrawlAccess::Options>& lane_options) {
+    access_.reserve(lane_options.size());
+    for (const auto& options : lane_options) {
+      access_.push_back(std::make_unique<CrawlAccess>(g, options));
+    }
+    lane_ptrs_.reserve(access_.size());
+    for (const auto& a : access_) lane_ptrs_.push_back(a.get());
+    estimator_ = std::make_unique<BatchedEstimatorT<CrawlAccess>>(
+        std::span<const CrawlAccess* const>(lane_ptrs_), config);
+  }
+  int NumChains() const override { return estimator_->lanes(); }
+  void Reset(uint64_t base_seed, uint64_t first_stream) override {
+    for (auto& a : access_) a->ResetCache();
+    estimator_->Reset(base_seed, first_stream);
+  }
+  void Run(uint64_t steps) override { estimator_->Run(steps); }
+  void Snapshot(int chain, std::vector<EstimateResult>* out) const override {
+    out->assign(1, estimator_->Result(chain));
+  }
+  bool BudgetExhausted(int chain) const override {
+    return access_[chain]->BudgetExhausted();
+  }
+  const CrawlStats* AccessStats(int chain) const override {
+    return &access_[chain]->stats();
+  }
+
+ private:
+  std::vector<std::unique_ptr<CrawlAccess>> access_;
+  std::vector<const CrawlAccess*> lane_ptrs_;
+  std::unique_ptr<BatchedEstimatorT<CrawlAccess>> estimator_;
 };
 
 class MultiSizeChain final : public EngineChain {
@@ -73,9 +153,11 @@ class MultiSizeChain final : public EngineChain {
   MultiSizeChain(const Graph& g, int d, const std::vector<int>& sizes,
                  bool css, bool nb)
       : estimator_(g, d, sizes, css, nb) {}
-  void Reset(uint64_t seed) override { estimator_.Reset(seed); }
+  void Reset(uint64_t base_seed, uint64_t first_stream) override {
+    estimator_.Reset(DeriveSeed(base_seed, first_stream));
+  }
   void Run(uint64_t steps) override { estimator_.Run(steps); }
-  void Snapshot(std::vector<EstimateResult>* out) const override {
+  void Snapshot(int, std::vector<EstimateResult>* out) const override {
     out->clear();
     out->reserve(estimator_.Sizes().size());
     for (int k : estimator_.Sizes()) out->push_back(estimator_.Result(k));
@@ -107,11 +189,18 @@ struct LoopOutput {
 // ceil(8 / C) rounds.
 constexpr int kMinBatchesForStop = 8;
 
+// `make_chain(first, count)` builds the unit covering global chains
+// [first, first + count); `unit_width` is the widest unit (the last unit
+// of an uneven split is narrower). Scalar mode is unit_width == 1.
 LoopOutput RunLoop(
-    int streams, const EngineOptions& opt,
-    const std::function<std::unique_ptr<EngineChain>(int)>& make_chain) {
+    int streams, const EngineOptions& opt, int unit_width,
+    const std::function<std::unique_ptr<EngineChain>(int, int)>&
+        make_chain) {
   if (opt.chains < 0) {
     throw std::invalid_argument("engine: chains must be >= 0");
+  }
+  if (unit_width < 1) {
+    throw std::invalid_argument("engine: batch lanes must be >= 1");
   }
   LoopOutput out;
   out.merged.assign(streams, {});
@@ -119,6 +208,11 @@ LoopOutput RunLoop(
   if (opt.chains == 0 || opt.max_steps == 0) return out;
 
   const int chains = opt.chains;
+  const int units = (chains + unit_width - 1) / unit_width;
+  const auto unit_first = [&](int u) { return u * unit_width; };
+  const auto unit_count = [&](int u) {
+    return std::min(chains, (u + 1) * unit_width) - unit_first(u);
+  };
   ChainPool& pool = opt.pool != nullptr ? *opt.pool : ChainPool::Shared();
 
   uint64_t round_steps = opt.round_steps;
@@ -130,13 +224,14 @@ LoopOutput RunLoop(
   }
 
   WallTimer timer;
-  std::vector<std::unique_ptr<EngineChain>> chain_objs(chains);
+  std::vector<std::unique_ptr<EngineChain>> chain_objs(units);
   pool.ForEach(
-      static_cast<size_t>(chains),
-      [&](size_t c) {
-        chain_objs[c] = make_chain(static_cast<int>(c));
-        chain_objs[c]->Reset(
-            DeriveSeed(opt.base_seed, opt.chain_offset + c));
+      static_cast<size_t>(units),
+      [&](size_t u) {
+        const int iu = static_cast<int>(u);
+        chain_objs[u] = make_chain(unit_first(iu), unit_count(iu));
+        chain_objs[u]->Reset(opt.base_seed,
+                             opt.chain_offset + unit_first(iu));
       },
       opt.threads);
 
@@ -156,10 +251,13 @@ LoopOutput RunLoop(
     const uint64_t delta = std::min<uint64_t>(round_steps,
                                               opt.max_steps - done);
     pool.ForEach(
-        static_cast<size_t>(chains),
-        [&](size_t c) {
-          chain_objs[c]->Run(delta);
-          chain_objs[c]->Snapshot(&out.per_chain[c]);
+        static_cast<size_t>(units),
+        [&](size_t u) {
+          const int iu = static_cast<int>(u);
+          chain_objs[u]->Run(delta);
+          for (int j = 0; j < unit_count(iu); ++j) {
+            chain_objs[u]->Snapshot(j, &out.per_chain[unit_first(iu) + j]);
+          }
         },
         opt.threads);
     done += delta;
@@ -241,8 +339,10 @@ LoopOutput RunLoop(
     // thread count.
     if (budget_mode) {
       bool all_spent = true;
-      for (const auto& chain : chain_objs) {
-        all_spent = all_spent && chain->BudgetExhausted();
+      for (int u = 0; u < units && all_spent; ++u) {
+        for (int j = 0; j < unit_count(u); ++j) {
+          all_spent = all_spent && chain_objs[u]->BudgetExhausted(j);
+        }
       }
       if (all_spent) {
         out.budget_exhausted = true;
@@ -254,11 +354,13 @@ LoopOutput RunLoop(
   // Crawl accounting: per-chain breakdown plus the chain-order sum.
   if (opt.crawl.enabled) {
     out.per_chain_access.reserve(chains);
-    for (const auto& chain : chain_objs) {
-      const CrawlStats* stats = chain->AccessStats();
-      out.per_chain_access.push_back(stats != nullptr ? *stats
-                                                      : CrawlStats{});
-      out.access.MergeFrom(out.per_chain_access.back());
+    for (int u = 0; u < units; ++u) {
+      for (int j = 0; j < unit_count(u); ++j) {
+        const CrawlStats* stats = chain_objs[u]->AccessStats(j);
+        out.per_chain_access.push_back(stats != nullptr ? *stats
+                                                        : CrawlStats{});
+        out.access.MergeFrom(out.per_chain_access.back());
+      }
     }
   }
 
@@ -290,6 +392,10 @@ EstimationEngine::EstimationEngine(const Graph& g,
         "EstimationEngine: budget_queries must be >= chains (every chain "
         "needs a positive distinct-query share)");
   }
+  if (options_.batch.enabled && options_.batch.lanes < 1) {
+    throw std::invalid_argument(
+        "EstimationEngine: batch.lanes must be >= 1");
+  }
   if (options_.chains > 0) {
     // Validate the estimator configuration eagerly (and warm the
     // k-indexed singletons) instead of failing inside the pool.
@@ -304,8 +410,9 @@ EngineResult EstimationEngine::Run() {
   const EngineOptions::CrawlConfig& crawl = options_.crawl;
   const int chains = options_.chains;
 
-  LoopOutput loop = RunLoop(1, options_, [&](int c) -> std::unique_ptr<EngineChain> {
-    if (!crawl.enabled) return std::make_unique<SingleSizeChain>(g, config);
+  // A chain's budget share depends on its *global* index alone, so the
+  // batched grouping cannot move budget between chains.
+  const auto chain_access_options = [&](int c) {
     CrawlAccess::Options access_options;
     access_options.cache_entries = crawl.cache_entries;
     access_options.latency_us = crawl.latency_us;
@@ -320,9 +427,33 @@ EngineResult EstimationEngine::Run() {
           (static_cast<uint64_t>(c) < crawl.budget_queries % chains ? 1
                                                                     : 0);
     }
-    return std::make_unique<CrawlSingleSizeChain>(g, config,
-                                                  access_options);
-  });
+    return access_options;
+  };
+
+  const bool batched = options_.batch.enabled;
+  const int unit_width = batched ? options_.batch.lanes : 1;
+  LoopOutput loop = RunLoop(
+      1, options_, unit_width,
+      [&](int first, int count) -> std::unique_ptr<EngineChain> {
+        if (!crawl.enabled) {
+          if (batched) {
+            return std::make_unique<BatchedSingleSizeChain>(g, config,
+                                                            count);
+          }
+          return std::make_unique<SingleSizeChain>(g, config);
+        }
+        if (batched) {
+          std::vector<CrawlAccess::Options> lane_options;
+          lane_options.reserve(count);
+          for (int j = 0; j < count; ++j) {
+            lane_options.push_back(chain_access_options(first + j));
+          }
+          return std::make_unique<BatchedCrawlSingleSizeChain>(
+              g, config, lane_options);
+        }
+        return std::make_unique<CrawlSingleSizeChain>(
+            g, config, chain_access_options(first));
+      });
 
   EngineResult result;
   result.merged = std::move(loop.merged[0]);
@@ -351,13 +482,17 @@ MultiSizeEngineResult RunMultiSizeEngine(const Graph& g, int d,
     throw std::invalid_argument(
         "RunMultiSizeEngine: crawl mode is single-size only");
   }
+  if (options.batch.enabled) {
+    throw std::invalid_argument(
+        "RunMultiSizeEngine: batch mode is single-size only");
+  }
   // Construct one probe to validate configuration and learn the
   // deduplicated, sorted size list (MultiSizeEstimator normalizes it).
   MultiSizeEstimator probe(g, d, sizes, css, nb);
   const std::vector<int> ordered = probe.Sizes();
 
   LoopOutput loop = RunLoop(
-      static_cast<int>(ordered.size()), options, [&](int) {
+      static_cast<int>(ordered.size()), options, 1, [&](int, int) {
         return std::make_unique<MultiSizeChain>(g, d, ordered, css, nb);
       });
 

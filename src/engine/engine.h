@@ -110,6 +110,21 @@ struct EngineOptions {
   };
   CrawlConfig crawl;
 
+  /// Batched walk kernels (walk/batched_walk.h): chains are grouped into
+  /// units of `lanes` chains advanced in lockstep by one task, with
+  /// cross-lane prefetch and vectorized signature rejection. Estimates,
+  /// stopping points and crawl accounting are bit-identical to the scalar
+  /// path at any thread count — chain c keeps its RNG stream
+  /// DeriveSeed(base_seed, chain_offset + c) regardless of which unit it
+  /// lands in (tests/batched_walk_test.cpp gates this).
+  struct BatchConfig {
+    bool enabled = false;
+    /// Lanes per unit; the last unit takes chains % lanes when the chain
+    /// count does not divide evenly. 8 covers one AVX2 signature batch.
+    int lanes = 8;
+  };
+  BatchConfig batch;
+
   /// Invoked after every round with a progress snapshot.
   std::function<void(const EngineProgress&)> on_progress;
   /// Pool to run on; nullptr = ChainPool::Shared().
@@ -187,7 +202,8 @@ struct MultiSizeEngineResult {
 /// sizes at once. Options are honored as in EstimationEngine, except
 /// crawl mode (full access only; throws std::invalid_argument if
 /// options.crawl.enabled — the multi-size estimator is not templated on
-/// the access policy yet).
+/// the access policy yet) and batch mode (throws likewise — the shared
+/// multi-size walk has no batched kernel yet).
 MultiSizeEngineResult RunMultiSizeEngine(const Graph& g, int d,
                                          const std::vector<int>& sizes,
                                          bool css, bool nb,

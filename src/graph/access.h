@@ -33,6 +33,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -47,6 +48,15 @@ namespace grw {
 /// Components templated on the access type and instantiated with Graph
 /// compile to exactly the code they had before the policy existed.
 using FullAccess = Graph;
+
+/// Whether access policy G carries a distinct-query budget its run loop
+/// must poll (CrawlAccess does). For Graph this is false and every budget
+/// check guarded by it compiles away. Shared by the scalar and batched
+/// estimator run loops.
+template <class G>
+constexpr bool kAccessHasQueryBudget = requires(const G& g) {
+  { g.BudgetExhausted() } -> std::convertible_to<bool>;
+};
 
 /// Crawl-cost accounting. Additive across independent crawlers (the engine
 /// merges per-chain stats in chain order).

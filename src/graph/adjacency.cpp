@@ -1,33 +1,195 @@
 #include "graph/adjacency.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/parallel.h"
 
+#if defined(GRW_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
 namespace grw {
+
+uint64_t SignatureProbeBatchScalar(uint64_t signature,
+                                   const VertexId* candidates, int count) {
+  uint64_t mask = 0;
+  for (int i = 0; i < count; ++i) {
+    mask |= ((signature >> ((candidates[i] * 0x9E3779B97F4A7C15ull) >> 58)) &
+             1ull)
+            << i;
+  }
+  return mask;
+}
+
+#if defined(GRW_SIMD_AVX2)
+
+__attribute__((target("avx2"))) uint64_t SignatureProbeBatchAvx2(
+    uint64_t signature, const VertexId* candidates, int count) {
+  // Four candidates per iteration, widened to 64-bit lanes. The hash is
+  // v * K >> 58 with v < 2^32, so the low-64 product splits exactly into
+  // two 32x32->64 multiplies: v*K_lo + ((v*K_hi) << 32). _mm256_mul_epu32
+  // multiplies the low 32 bits of each lane, which is all three operands
+  // need.
+  const __m256i k_lo = _mm256_set1_epi64x(0x7F4A7C15ll);
+  const __m256i k_hi = _mm256_set1_epi64x(0x9E3779B9ll);
+  const __m256i sig = _mm256_set1_epi64x(static_cast<long long>(signature));
+  const __m256i one = _mm256_set1_epi64x(1);
+  uint64_t mask = 0;
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i v = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(candidates + i)));
+    const __m256i prod = _mm256_add_epi64(
+        _mm256_mul_epu32(v, k_lo),
+        _mm256_slli_epi64(_mm256_mul_epu32(v, k_hi), 32));
+    const __m256i shift = _mm256_srli_epi64(prod, 58);
+    const __m256i bit =
+        _mm256_and_si256(_mm256_srlv_epi64(sig, shift), one);
+    const __m256i hit = _mm256_cmpeq_epi64(bit, one);
+    mask |= static_cast<uint64_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(hit)))
+            << i;
+  }
+  if (i < count) {
+    mask |= SignatureProbeBatchScalar(signature, candidates + i, count - i)
+            << i;
+  }
+  return mask;
+}
+
+bool SignatureProbeBatchHasAvx2() {
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2");
+  return kHasAvx2;
+}
+
+#else  // !GRW_SIMD_AVX2
+
+uint64_t SignatureProbeBatchAvx2(uint64_t signature,
+                                 const VertexId* candidates, int count) {
+  return SignatureProbeBatchScalar(signature, candidates, count);
+}
+
+bool SignatureProbeBatchHasAvx2() { return false; }
+
+#endif  // GRW_SIMD_AVX2
+
+uint64_t SignatureProbeBatch(uint64_t signature, const VertexId* candidates,
+                             int count) {
+  if (SignatureProbeBatchHasAvx2()) {
+    return SignatureProbeBatchAvx2(signature, candidates, count);
+  }
+  return SignatureProbeBatchScalar(signature, candidates, count);
+}
+
+uint64_t AdjacencyIndex::PairProbeBatchScalar(const VertexId* us,
+                                              const VertexId* vs,
+                                              int count) const {
+  uint64_t mask = 0;
+  for (int i = 0; i < count; ++i) {
+    mask |= ((meta_[us[i]].signature &
+              NeighborSignatureBit(vs[i])) != 0
+                 ? 1ull
+                 : 0ull)
+            << i;
+  }
+  return mask;
+}
+
+#if defined(GRW_SIMD_AVX2)
+
+__attribute__((target("avx2"))) uint64_t AdjacencyIndex::PairProbeBatchAvx2(
+    const VertexId* us, const VertexId* vs, int count) const {
+  // Four (u, v) pairs per iteration: gather sig(u) straight from the
+  // 16-byte records (64-bit lane index u*2, scale 8), hash v to its bit
+  // position with the split 32x32 multiply, test, pack.
+  const auto* base = reinterpret_cast<const long long*>(meta_.data());
+  const __m256i k_lo = _mm256_set1_epi64x(0x7F4A7C15ll);
+  const __m256i k_hi = _mm256_set1_epi64x(0x9E3779B9ll);
+  const __m256i one = _mm256_set1_epi64x(1);
+  uint64_t mask = 0;
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i u64s = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(us + i)));
+    const __m256i sig =
+        _mm256_i64gather_epi64(base, _mm256_slli_epi64(u64s, 1), 8);
+    const __m256i v = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vs + i)));
+    const __m256i prod = _mm256_add_epi64(
+        _mm256_mul_epu32(v, k_lo),
+        _mm256_slli_epi64(_mm256_mul_epu32(v, k_hi), 32));
+    const __m256i shift = _mm256_srli_epi64(prod, 58);
+    const __m256i bit =
+        _mm256_and_si256(_mm256_srlv_epi64(sig, shift), one);
+    const __m256i hit = _mm256_cmpeq_epi64(bit, one);
+    mask |= static_cast<uint64_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(hit)))
+            << i;
+  }
+  if (i < count) {
+    mask |= PairProbeBatchScalar(us + i, vs + i, count - i) << i;
+  }
+  return mask;
+}
+
+#else  // !GRW_SIMD_AVX2
+
+uint64_t AdjacencyIndex::PairProbeBatchAvx2(const VertexId* us,
+                                            const VertexId* vs,
+                                            int count) const {
+  return PairProbeBatchScalar(us, vs, count);
+}
+
+#endif  // GRW_SIMD_AVX2
+
+uint64_t AdjacencyIndex::PairProbeBatch(const VertexId* us,
+                                        const VertexId* vs,
+                                        int count) const {
+  if (SignatureProbeBatchHasAvx2()) {
+    return PairProbeBatchAvx2(us, vs, count);
+  }
+  return PairProbeBatchScalar(us, vs, count);
+}
 
 AdjacencyIndex::AdjacencyIndex(const Graph& g,
                                const AdjacencyIndexOptions& options)
     : backing_(g.backing()),
       offsets_(g.RawOffsets().data()),
       neighbors_(g.RawNeighbors().data()),
-      linear_cutoff_(options.linear_cutoff) {
+      // A cutoff at or above the degree cap would route capped (huge)
+      // lists into the linear scan with a truncated length; clamp it.
+      linear_cutoff_(std::min<uint32_t>(options.linear_cutoff,
+                                        kDegreeCap - 1)),
+      wide_offsets_(g.RawNeighbors().size() >
+                    std::numeric_limits<uint32_t>::max()) {
+  vector_scan_ = SignatureProbeBatchHasAvx2();
+  scan_cutoff_ = linear_cutoff_;
+  if (vector_scan_) {
+    scan_cutoff_ = std::max(
+        scan_cutoff_,
+        std::min<uint32_t>(options.simd_scan_cutoff, kDegreeCap - 1));
+  }
   const VertexId n = g.NumNodes();
-  signatures_.assign(n, 0);
-  hub_slot_.assign(n, kNoHub);
+  meta_.assign(n, NodeMeta{});
   if (n == 0) return;
 
-  // Signatures: each node's filter depends only on its own neighbor list,
-  // so the fan-out is race-free and the result identical at any thread
-  // count.
+  // Per-node records: each node's signature depends only on its own
+  // neighbor list, so the fan-out is race-free and the result identical
+  // at any thread count. Hub slots are filled in below.
   ParallelFor(
       n,
       [&](size_t v) {
         uint64_t sig = 0;
         for (VertexId w : g.Neighbors(static_cast<VertexId>(v))) {
-          sig |= SignatureBit(w);
+          sig |= NeighborSignatureBit(w);
         }
-        signatures_[v] = sig;
+        meta_[v].signature = sig;
+        if (!wide_offsets_) {
+          meta_[v].offset = static_cast<uint32_t>(offsets_[v]);
+        }
+        meta_[v].degree = static_cast<uint16_t>(std::min<uint32_t>(
+            g.Degree(static_cast<VertexId>(v)), kDegreeCap));
       },
       options.threads);
 
@@ -38,15 +200,18 @@ AdjacencyIndex::AdjacencyIndex(const Graph& g,
   row_words_ = (static_cast<size_t>(n) + 63) / 64;
   const uint64_t row_bytes = row_words_ * sizeof(uint64_t);
   const uint32_t max_degree = g.MaxDegree();
+  // True (uncapped) degrees throughout hub fitting: the record's capped
+  // degree would fold everything above the cap into one histogram bin.
   std::vector<uint64_t> ge(static_cast<size_t>(max_degree) + 2, 0);
-  for (VertexId v = 0; v < n; ++v) ge[Degree(v)]++;
+  for (VertexId v = 0; v < n; ++v) ge[g.Degree(v)]++;
   for (uint32_t d = max_degree; d > 0; --d) ge[d - 1] += ge[d];
   uint64_t threshold = options.hub_degree_threshold > 0
                            ? options.hub_degree_threshold
                            : options.min_hub_degree;
   threshold = std::max<uint64_t>(threshold, 1);
   while (threshold <= max_degree &&
-         ge[threshold] * row_bytes > options.hub_memory_budget) {
+         (ge[threshold] * row_bytes > options.hub_memory_budget ||
+          ge[threshold] > kMaxHubs)) {
     ++threshold;
   }
   if (threshold > max_degree) return;  // nothing qualifies: no hub rows
@@ -55,8 +220,8 @@ AdjacencyIndex::AdjacencyIndex(const Graph& g,
   std::vector<VertexId> hubs;
   hubs.reserve(ge[threshold]);
   for (VertexId v = 0; v < n; ++v) {
-    if (Degree(v) >= hub_threshold_) {
-      hub_slot_[v] = static_cast<uint32_t>(hubs.size());
+    if (g.Degree(v) >= hub_threshold_) {
+      meta_[v].hub_slot = static_cast<uint16_t>(hubs.size());
       hubs.push_back(v);
     }
   }
@@ -75,18 +240,63 @@ AdjacencyIndex::AdjacencyIndex(const Graph& g,
       options.threads);
 }
 
-bool AdjacencyIndex::ListContains(VertexId u, VertexId v) const {
-  const uint64_t begin = offsets_[u];
-  const size_t len = static_cast<size_t>(offsets_[u + 1] - begin);
-  const VertexId* list = neighbors_ + begin;
-  if (len <= linear_cutoff_) {
-    // Short sorted lists: sequential compare with early exit beats any
-    // probing — the whole list is one or two cache lines.
-    for (size_t i = 0; i < len; ++i) {
-      if (list[i] >= v) return list[i] == v;
-    }
-    return false;
+bool AdjacencyIndex::LinearContains(const VertexId* list, size_t len,
+                                    VertexId v) {
+  // Short sorted lists: sequential compare with early exit beats any
+  // probing — the whole list is one or two cache lines.
+  for (size_t i = 0; i < len; ++i) {
+    if (list[i] >= v) return list[i] == v;
   }
+  return false;
+}
+
+#if defined(GRW_SIMD_AVX2)
+
+__attribute__((target("avx2"))) bool AdjacencyIndex::VectorContainsAvx2(
+    const VertexId* list, size_t len, VertexId v) {
+  // 16 entries per iteration as two masked 8-lane compares: no
+  // data-dependent exit branch inside a block, so a probe that resolves
+  // in the first block (every list up to simd_scan_cutoff's first 16
+  // entries) retires without a single unpredictable branch. Masked loads
+  // never touch bytes past the list, and masked-off lanes are stripped
+  // from the hit mask so a candidate id of 0 cannot alias the load's
+  // zero fill. Between blocks the sorted order gives an exact early
+  // exit: if the block's last entry is >= v, no later block can hold v.
+  const __m256i key = _mm256_set1_epi32(static_cast<int>(v));
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  for (size_t i = 0; i < len; i += 16) {
+    const size_t rem = len - i;
+    const __m256i n0 =
+        _mm256_set1_epi32(static_cast<int>(std::min<size_t>(rem, 8)));
+    const __m256i m0 = _mm256_cmpgt_epi32(n0, iota);
+    const __m256i a = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(list + i), m0);
+    __m256i hit = _mm256_and_si256(_mm256_cmpeq_epi32(a, key), m0);
+    const size_t rem1 = rem > 8 ? std::min<size_t>(rem - 8, 8) : 0;
+    const __m256i n1 = _mm256_set1_epi32(static_cast<int>(rem1));
+    const __m256i m1 = _mm256_cmpgt_epi32(n1, iota);
+    // rem <= 8 keeps the pointer at list + i (still in bounds); the
+    // all-zero mask then loads nothing from it.
+    const __m256i b = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(list + i + (rem > 8 ? 8 : 0)), m1);
+    hit = _mm256_or_si256(hit, _mm256_and_si256(_mm256_cmpeq_epi32(b, key), m1));
+    if (!_mm256_testz_si256(hit, hit)) return true;
+    if (list[i + std::min<size_t>(rem, 16) - 1] >= v) return false;
+  }
+  return false;
+}
+
+#else  // !GRW_SIMD_AVX2
+
+bool AdjacencyIndex::VectorContainsAvx2(const VertexId* list, size_t len,
+                                        VertexId v) {
+  return LinearContains(list, len, v);
+}
+
+#endif  // GRW_SIMD_AVX2
+
+bool AdjacencyIndex::GallopContains(const VertexId* list, size_t len,
+                                    VertexId v) {
   // Galloping: double the probe distance until the window [hi/2, hi)
   // brackets v, then finish with a branchless (conditional-move) binary
   // search over that window.

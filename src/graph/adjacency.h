@@ -24,6 +24,20 @@
 //      (exponential range narrowing + conditional-move binary search)
 //      above it.
 //
+// Dispatch layout: signature, degree and hub slot are fused into one
+// 16-byte per-node record, so a probe classifies both endpoints (reject /
+// hub / short-list / long-list) from at most two cache lines instead of
+// re-deriving the regime from scattered arrays (signatures, CSR offsets,
+// hub slots) on every query. Present-edge probes — the one regime the
+// split layout regressed — skip the signature math entirely once the
+// record says the resolving list is short.
+//
+// Batched probes: SignatureProbeBatch() evaluates one node's signature
+// against a whole candidate array at once, vectorized with AVX2 where the
+// CPU has it (runtime-dispatched; bit-identical scalar fallback
+// otherwise). The batched walk kernels (walk/batched_walk.h) use it to
+// reject most non-edges of a probe batch with a handful of vector ops.
+//
 // The index is an overlay: it stores no adjacency of its own beyond the
 // bitset rows, keeps the CSR's lowest-degree-endpoint probe orientation,
 // and returns bit-identical answers to Graph::HasEdgeBinarySearch. Attach
@@ -42,6 +56,33 @@
 
 namespace grw {
 
+/// The multiplicative (Fibonacci) hash picking one of 64 signature bits
+/// for a vertex id; the high bits of the product are well mixed even for
+/// dense sequential ids. Shared by the index and the vectorized probes.
+inline uint64_t NeighborSignatureBit(VertexId v) {
+  return 1ull << ((v * 0x9E3779B97F4A7C15ull) >> 58);
+}
+
+/// Evaluates `signature` against `count` candidate ids (count <= 64):
+/// bit i of the result is 1 iff the signature *admits* candidates[i]
+/// (possible edge — needs an exact check); 0 proves the edge absent.
+/// Scalar reference implementation.
+uint64_t SignatureProbeBatchScalar(uint64_t signature,
+                                   const VertexId* candidates, int count);
+
+/// AVX2 implementation of the same contract (4 candidates per vector op).
+/// Only callable when SignatureProbeBatchHasAvx2() is true.
+uint64_t SignatureProbeBatchAvx2(uint64_t signature,
+                                 const VertexId* candidates, int count);
+
+/// True when this binary carries the AVX2 path and the CPU supports it.
+bool SignatureProbeBatchHasAvx2();
+
+/// Runtime-dispatched batch probe: AVX2 when available, scalar otherwise.
+/// Both paths return identical masks for every input (property-tested).
+uint64_t SignatureProbeBatch(uint64_t signature, const VertexId* candidates,
+                             int count);
+
 /// Tuning knobs for AdjacencyIndex construction.
 struct AdjacencyIndexOptions {
   /// Vertices with degree >= this get a dense bitset row. 0 = choose the
@@ -59,6 +100,13 @@ struct AdjacencyIndexOptions {
   /// Neighbor lists shorter than this are scanned linearly instead of
   /// galloping-searched.
   uint32_t linear_cutoff = 16;
+  /// When the AVX2 membership scan is available, lists up to this length
+  /// are resolved by a branchless vector scan instead of a hub-row probe
+  /// or galloping search — a few *sequential* cache lines beat one random
+  /// line in tens of MiB of bitset, and no data-dependent scan-exit
+  /// branch means no mispredict per probe. 0 disables the widening (the
+  /// linear_cutoff policy applies unchanged); ignored without AVX2.
+  uint32_t simd_scan_cutoff = 64;
   /// Worker threads for construction; 0 = HardwareThreads().
   unsigned threads = 0;
 };
@@ -72,59 +120,157 @@ class AdjacencyIndex {
   /// Same contract and result as Graph::HasEdgeBinarySearch, faster.
   /// Requires u, v < NumNodes() and u != v (Graph::HasEdge pre-checks).
   bool HasEdge(VertexId u, VertexId v) const {
-    // One-load Bloom reject, before even looking at degrees: a clear bit
-    // proves the edge is absent (the bit was set for every real neighbor
-    // at build time, so there are no false negatives). Most non-edge
-    // probes — the dominant query shape on sparse graphs — finish here
-    // having touched exactly one cache line.
-    if (!(signatures_[u] & SignatureBit(v))) return false;
-    // Keep the CSR's orientation: resolve against the lower-degree
-    // endpoint's list, so u ends up on the small side and v on the large.
-    if (Degree(u) > Degree(v)) {
-      const VertexId t = u;
-      u = v;
-      v = t;
+    // One-load Bloom reject, before even classifying the endpoints: a
+    // clear bit proves the edge is absent (the bit was set for every real
+    // neighbor at build time, so there are no false negatives). Most
+    // non-edge probes — the dominant query shape on sparse graphs —
+    // finish here having touched exactly one cache line.
+    const NodeMeta mu = meta_[u];
+    if (!(mu.signature & NeighborSignatureBit(v))) return false;
+    // u's own list already short: scan it directly. The CSR is symmetric,
+    // so either endpoint's list answers the question — and because the
+    // record carries the list's CSR offset, the scan starts without
+    // loading meta_[v], a hub row, or the offsets array. Present edges
+    // with a low-degree endpoint (most edges of a sparse graph) finish
+    // in two cache lines: the record and the list itself.
+    if (mu.degree <= scan_cutoff_) {
+      return ListContains(ListBegin(u, mu), mu.degree, v);
     }
-    const uint32_t slot = hub_slot_[v];
-    if (slot != kNoHub) {
-      // O(1): one bit test in the hub's dense row.
-      return (bits_[static_cast<size_t>(slot) * row_words_ + (u >> 6)] >>
-              (u & 63)) &
+    // Keep the CSR's orientation: resolve against the lower-degree
+    // endpoint's list. Everything needed to classify the probe (degree,
+    // hub slot, list offset) rides in the two records just loaded.
+    // Capped degrees compare correctly: a capped record is >= the cap,
+    // an uncapped one is below it, and between two capped records either
+    // orientation resolves the same symmetric membership question.
+    const NodeMeta mv = meta_[v];
+    VertexId small = u;
+    VertexId large = v;
+    NodeMeta small_meta = mu;
+    uint16_t large_slot = mv.hub_slot;
+    if (mu.degree > mv.degree) {
+      small = v;
+      large = u;
+      small_meta = mv;
+      large_slot = mu.hub_slot;
+    }
+    if (small_meta.degree <= scan_cutoff_) {
+      // Short resolving list: the scan is cheaper than the random cache
+      // line a hub-row bit test would touch, and present edges (which
+      // always pass the filter) skip the signature math entirely.
+      return ListContains(ListBegin(small, small_meta), small_meta.degree,
+                          large);
+    }
+    if (large_slot != kNoHub) {
+      // O(1): one bit test in the large endpoint's dense row. Only long
+      // small sides reach here — anything scannable resolved above.
+      return (bits_[static_cast<size_t>(large_slot) * row_words_ +
+                    (small >> 6)] >>
+              (small & 63)) &
              1u;
     }
     // Small-side filter (a different, more selective fingerprint when the
-    // swap above fired; the already-cached line otherwise), then the
-    // exact hybrid search.
-    if (!(signatures_[u] & SignatureBit(v))) return false;
-    return ListContains(u, v);
+    // swap above fired; a register-only recheck otherwise), then the
+    // branchless galloping search.
+    if (!(small_meta.signature & NeighborSignatureBit(large))) return false;
+    return GallopContains(ListBegin(small, small_meta),
+                          ListLength(small, small_meta), large);
   }
 
+  /// Batched signature rejection: bit i of the result is set iff the
+  /// index *cannot* rule out the edge (u, candidates[i]) from u's
+  /// signature alone. Clear bits are certain misses. count <= 64.
+  uint64_t ProbeBatch(VertexId u, const VertexId* candidates,
+                      int count) const {
+    return SignatureProbeBatch(meta_[u].signature, candidates, count);
+  }
+
+  /// Pairwise batched rejection over the fused record array: bit i of the
+  /// result is set iff the signature of us[i] admits vs[i] (edge possibly
+  /// present — confirm with HasEdge); clear bits are certain misses.
+  /// count <= 64. The batched walk kernels gather one probe per lane and
+  /// reject most of the batch in a handful of vector ops (the AVX2 path
+  /// gathers four signatures per iteration straight from the records).
+  uint64_t PairProbeBatch(const VertexId* us, const VertexId* vs,
+                          int count) const;
+  /// The two implementations behind PairProbeBatch, exposed for the
+  /// SIMD-vs-scalar parity property tests. Identical masks on every input
+  /// (the AVX2 variant requires SignatureProbeBatchHasAvx2()).
+  uint64_t PairProbeBatchScalar(const VertexId* us, const VertexId* vs,
+                                int count) const;
+  uint64_t PairProbeBatchAvx2(const VertexId* us, const VertexId* vs,
+                              int count) const;
+
+  /// Membership test over a sorted neighbor list slice — the two
+  /// implementations behind the probe's list scan, exposed for the
+  /// SIMD-vs-scalar parity property tests. LinearContains is the scalar
+  /// early-exit reference; VectorContainsAvx2 is the branchless masked
+  /// vector scan (16 entries per iteration, sorted early exit per block;
+  /// requires SignatureProbeBatchHasAvx2()). Identical results on every
+  /// input.
+  static bool LinearContains(const VertexId* list, size_t len, VertexId v);
+  static bool VectorContainsAvx2(const VertexId* list, size_t len,
+                                 VertexId v);
+
   /// True iff v has a dense bitset row.
-  bool IsHub(VertexId v) const { return hub_slot_[v] != kNoHub; }
+  bool IsHub(VertexId v) const { return meta_[v].hub_slot != kNoHub; }
 
   /// The effective hub degree threshold (after budget fitting);
   /// 0 when the graph has no hubs.
   uint32_t hub_threshold() const { return hub_threshold_; }
   uint32_t num_hubs() const { return num_hubs_; }
   uint64_t bitset_bytes() const { return bits_.size() * sizeof(uint64_t); }
-  uint64_t signature_bytes() const {
-    return signatures_.size() * sizeof(uint64_t);
+  /// Bytes of fused per-node records (signature + degree + hub slot).
+  uint64_t metadata_bytes() const {
+    return meta_.size() * sizeof(NodeMeta);
   }
+  /// Back-compat alias for the pre-fusion stat name.
+  uint64_t signature_bytes() const { return metadata_bytes(); }
 
  private:
-  static constexpr uint32_t kNoHub = 0xFFFFFFFFu;
+  static constexpr uint16_t kNoHub = 0xFFFFu;
+  /// Degrees at or above this are stored capped; ListLength() recovers the
+  /// exact length from the CSR offsets (rare deep path, extra load there
+  /// only).
+  static constexpr uint16_t kDegreeCap = 0xFFFFu;
+  /// Hub slots must fit 16 bits with kNoHub reserved, so at most this many
+  /// bitset rows (threshold fitting raises the degree bar to comply).
+  static constexpr uint64_t kMaxHubs = 0xFFFFu;
 
-  static uint64_t SignatureBit(VertexId v) {
-    // Multiplicative (Fibonacci) hash into one of 64 bits; the high bits
-    // of the product are well mixed even for dense sequential ids.
-    return 1ull << ((v * 0x9E3779B97F4A7C15ull) >> 58);
+  /// Fused per-node probe dispatch record: everything HasEdge needs to
+  /// classify a probe (reject it, route it to a hub row, or pick the list
+  /// search flavor) AND find the neighbor list (CSR offset) in one
+  /// 16-byte load per endpoint — list-resolved probes never touch the
+  /// offsets array.
+  struct NodeMeta {
+    uint64_t signature = 0;  // Bloom fingerprint of the neighbor set
+    uint32_t offset = 0;     // CSR list start (unused if wide_offsets_)
+    uint16_t degree = 0;     // min(true degree, kDegreeCap)
+    uint16_t hub_slot = kNoHub;
+  };
+  static_assert(sizeof(NodeMeta) == 16,
+                "PairProbeBatchAvx2 gathers signatures at 16-byte stride");
+
+  /// Start of u's neighbor list. The record's 32-bit offset covers graphs
+  /// up to 2^32 half-edges; beyond that the constructor sets
+  /// wide_offsets_ and probes fall back to the 64-bit CSR offsets (one
+  /// perfectly predicted branch on a never-changing member).
+  const VertexId* ListBegin(VertexId u, const NodeMeta& m) const {
+    return neighbors_ + (wide_offsets_ ? offsets_[u] : m.offset);
+  }
+  /// Exact length of u's neighbor list (resolves the degree cap).
+  size_t ListLength(VertexId u, const NodeMeta& m) const {
+    return m.degree != kDegreeCap
+               ? m.degree
+               : static_cast<size_t>(offsets_[u + 1] - offsets_[u]);
   }
 
-  uint32_t Degree(VertexId v) const {
-    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
-  }
+  static bool GallopContains(const VertexId* list, size_t len, VertexId v);
 
-  bool ListContains(VertexId u, VertexId v) const;
+  /// Runtime-dispatched list scan (vector when the CPU has AVX2).
+  bool ListContains(const VertexId* list, size_t len, VertexId v) const {
+    return vector_scan_ ? VectorContainsAvx2(list, len, v)
+                        : LinearContains(list, len, v);
+  }
 
   // CSR views (shared with the graph; backing_ keeps them alive even if
   // the original Graph object is destroyed).
@@ -132,13 +278,15 @@ class AdjacencyIndex {
   const uint64_t* offsets_ = nullptr;
   const VertexId* neighbors_ = nullptr;
 
-  std::vector<uint64_t> signatures_;  // one 64-bit Bloom filter per node
-  std::vector<uint32_t> hub_slot_;    // node -> bitset row slot, or kNoHub
-  std::vector<uint64_t> bits_;        // num_hubs_ rows of row_words_ words
+  std::vector<NodeMeta> meta_;  // one dispatch record per node
+  std::vector<uint64_t> bits_;  // num_hubs_ rows of row_words_ words
   size_t row_words_ = 0;
   uint32_t hub_threshold_ = 0;
   uint32_t num_hubs_ = 0;
   uint32_t linear_cutoff_ = 16;
+  uint32_t scan_cutoff_ = 16;  // linear_cutoff_, widened under AVX2
+  bool vector_scan_ = false;   // AVX2 membership scan available
+  bool wide_offsets_ = false;  // > 2^32 half-edges: offsets via CSR
 };
 
 }  // namespace grw

@@ -65,10 +65,21 @@ uint64_t EnumerateGdNeighbors(const G& g, std::span<const VertexId> state,
       }
     }
   }
+  return EnumerateGdNeighborsWithRows(g, state, srows, out_neighbors,
+                                      scratch);
+}
+
+template <class G>
+uint64_t EnumerateGdNeighborsWithRows(const G& g,
+                                      std::span<const VertexId> state,
+                                      const uint32_t* srows,
+                                      std::vector<VertexId>* out_neighbors,
+                                      GdScratch& scratch) {
+  const int d = static_cast<int>(state.size());
+  assert(d >= 1 && d <= 32);
 
   std::vector<VertexId>& base = scratch.base;
   std::vector<VertexId>& candidate = scratch.candidate;
-  std::vector<VertexId>& additions = scratch.additions;
   base.resize(d > 0 ? d - 1 : 0);
   candidate.resize(d);
   uint64_t count = 0;
@@ -88,28 +99,41 @@ uint64_t EnumerateGdNeighbors(const G& g, std::span<const VertexId> state,
       ++j;
     }
 
-    // Candidate incoming nodes: neighbors of the base, outside the state.
-    // (A node with no edge to the base can never yield a connected
-    // candidate, since all its candidate edges go to the base.)
-    additions.clear();
-    for (VertexId v : base) {
-      for (VertexId w : g.Neighbors(v)) {
-        if (std::find(state.begin(), state.end(), w) == state.end()) {
-          additions.push_back(w);
-        }
-      }
+    // Candidate incoming nodes are exactly the neighbors of the base
+    // outside the state (a node with no edge to the base can never yield
+    // a connected candidate, since all its candidate edges go to the
+    // base). A (d-1)-way sorted merge of the base neighbor lists yields
+    // each distinct candidate w in ascending order together with its
+    // base-adjacency mask for free: w is adjacent to base[i] iff it
+    // surfaced from list i. No edge queries, no sort, no dedup pass.
+    const VertexId** heads = scratch.heads.data();
+    const VertexId** ends = scratch.ends.data();
+    for (int i = 0; i + 1 < d; ++i) {
+      const auto list = g.Neighbors(base[i]);
+      heads[i] = list.data();
+      ends[i] = list.data() + list.size();
     }
-    std::sort(additions.begin(), additions.end());
-    additions.erase(std::unique(additions.begin(), additions.end()),
-                    additions.end());
-
-    for (VertexId w : additions) {
-      // d-1 fresh edge queries give w's adjacency against the base; the
-      // connectivity of base ∪ {w} then follows from bitmasks alone.
+    size_t state_pos = 0;  // cursor into the (sorted) state for skipping
+    while (true) {
+      // Find the smallest head across the lists and collect which lists
+      // carry it (that set IS the candidate's base-adjacency mask).
+      VertexId w = ~static_cast<VertexId>(0);
       uint32_t wmask = 0;
       for (int i = 0; i + 1 < d; ++i) {
-        if (g.HasEdge(base[i], w)) wmask |= 1u << i;
+        if (heads[i] == ends[i]) continue;
+        const VertexId head = *heads[i];
+        if (head < w) {
+          w = head;
+          wmask = 1u << i;
+        } else if (head == w) {
+          wmask |= 1u << i;
+        }
       }
+      if (wmask == 0) break;  // all lists exhausted
+      for (int i = 0; i + 1 < d; ++i) heads[i] += (wmask >> i) & 1u;
+      while (state_pos < state.size() && state[state_pos] < w) ++state_pos;
+      if (state_pos < state.size() && state[state_pos] == w) continue;
+
       uint32_t rows[32];
       for (int i = 0; i + 1 < d; ++i) {
         rows[i] = brows[i] | (((wmask >> i) & 1u) << (d - 1));
@@ -262,6 +286,12 @@ template uint64_t EnumerateGdNeighbors<Graph>(const Graph&,
 template uint64_t EnumerateGdNeighbors<CrawlAccess>(
     const CrawlAccess&, std::span<const VertexId>, std::vector<VertexId>*,
     GdScratch&);
+template uint64_t EnumerateGdNeighborsWithRows<Graph>(
+    const Graph&, std::span<const VertexId>, const uint32_t*,
+    std::vector<VertexId>*, GdScratch&);
+template uint64_t EnumerateGdNeighborsWithRows<CrawlAccess>(
+    const CrawlAccess&, std::span<const VertexId>, const uint32_t*,
+    std::vector<VertexId>*, GdScratch&);
 template uint64_t SubgraphStateDegree<Graph>(const Graph&,
                                              std::span<const VertexId>,
                                              GdScratch&);

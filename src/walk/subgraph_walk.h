@@ -13,10 +13,13 @@
 // allocations once warm) and checks candidate connectivity incrementally —
 // the state's internal adjacency mask is built once per call with C(d,2)
 // edge queries, each evicted vertex derives its base mask by bit surgery,
-// and each candidate v_in costs exactly d-1 new edge queries plus an
-// O(d) bitmask BFS (no further adjacency probes). The pre-optimization
-// path is preserved as EnumerateGdNeighborsReference for the equivalence
-// tests and the micro-bench baseline.
+// and candidates come from a (d-1)-way sorted merge of the base vertices'
+// neighbor lists: each distinct v_in arrives in ascending order *with its
+// base-adjacency mask already assembled* (v_in is adjacent to base[i] iff
+// it surfaced from list i), so a candidate costs zero edge queries — just
+// an O(d) bitmask BFS. The pre-optimization path is preserved as
+// EnumerateGdNeighborsReference for the equivalence tests and the
+// micro-bench baseline.
 //
 // Everything here is templated on the graph access policy (graph/access.h)
 // with explicit instantiations for Graph (full access — the unchanged PR 4
@@ -43,9 +46,11 @@ namespace grw {
 struct GdScratch {
   std::vector<VertexId> base;       // state minus the evicted vertex
   std::vector<VertexId> candidate;  // base plus the incoming vertex
-  std::vector<VertexId> additions;  // distinct v_in candidates per v_out
   std::array<uint32_t, 32> state_rows = {};  // state internal adjacency
   std::array<uint32_t, 32> base_rows = {};   // derived per evicted vertex
+  // Cursors for the (d-1)-way sorted merge over base neighbor lists.
+  std::array<const VertexId*, 32> heads = {};
+  std::array<const VertexId*, 32> ends = {};
 };
 
 /// Appends to *out_neighbors (if non-null) all G(d)-neighbors of `state`
@@ -67,6 +72,19 @@ inline void EnumerateGdNeighbors(const G& g,
   GdScratch scratch;
   EnumerateGdNeighbors(g, state, out_neighbors, scratch);
 }
+
+/// As EnumerateGdNeighbors, but with the state's internal adjacency rows
+/// (bit j of state_rows[i] = edge state[i]~state[j]) supplied by the
+/// caller instead of probed here. The batched walk kernel builds the rows
+/// for a whole lane batch at once (vectorized signature rejection) and
+/// feeds them in; results are identical to the probing overload given
+/// correct rows.
+template <class G>
+uint64_t EnumerateGdNeighborsWithRows(const G& g,
+                                      std::span<const VertexId> state,
+                                      const uint32_t* state_rows,
+                                      std::vector<VertexId>* out_neighbors,
+                                      GdScratch& scratch);
 
 /// The pre-acceleration enumerator: per-call vector allocations and a full
 /// adjacency-probing BFS per candidate. Kept verbatim as the behavioral

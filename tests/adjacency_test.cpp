@@ -254,6 +254,126 @@ TEST(AdjacencyDeterminismTest, EngineBitIdenticalIndexOnOffAnyThreads) {
   }
 }
 
+TEST(SimdParityTest, SignatureProbeBatchAvx2MatchesScalarOnRandomBatches) {
+  // Randomized property: the AVX2 and scalar signature-rejection kernels
+  // compute the same admit mask on every batch — random signatures
+  // (including all-ones/all-zeros extremes), random candidate ids across
+  // the whole 32-bit range, random counts 0..64.
+  if (!SignatureProbeBatchHasAvx2()) {
+    GTEST_SKIP() << "no AVX2 at runtime; dispatched path is scalar";
+  }
+  Rng rng(20240607);
+  std::vector<VertexId> candidates(64);
+  for (int trial = 0; trial < 10000; ++trial) {
+    uint64_t signature = rng();
+    if (trial % 97 == 0) signature = 0;
+    if (trial % 89 == 0) signature = ~0ull;
+    const int count = static_cast<int>(rng.UniformInt(65));
+    for (int i = 0; i < count; ++i) {
+      // Mix small ids (realistic) with full-range ids (overflow probes
+      // for the split 32x32->64 multiply in the vector path).
+      candidates[i] = (trial % 2 == 0)
+                          ? static_cast<VertexId>(rng.UniformInt(100000))
+                          : static_cast<VertexId>(rng());
+    }
+    const uint64_t scalar =
+        SignatureProbeBatchScalar(signature, candidates.data(), count);
+    const uint64_t avx2 =
+        SignatureProbeBatchAvx2(signature, candidates.data(), count);
+    ASSERT_EQ(scalar, avx2)
+        << "trial " << trial << " count " << count << " sig " << signature;
+    ASSERT_EQ(SignatureProbeBatch(signature, candidates.data(), count),
+              scalar);
+    if (count < 64) {
+      // Lanes past count must never leak into the mask.
+      ASSERT_EQ(scalar >> count, 0ull);
+    }
+  }
+}
+
+TEST(SimdParityTest, PairProbeBatchAvx2MatchesScalarOnRandomBatches) {
+  // Same property for the gathered pair-probe kernel: per-pair admit
+  // verdicts from the index's signature array, AVX2 vs scalar, on random
+  // vertex pairs of a real indexed graph.
+  if (!SignatureProbeBatchHasAvx2()) {
+    GTEST_SKIP() << "no AVX2 at runtime; dispatched path is scalar";
+  }
+  Rng graph_rng(13);
+  Graph g = BarabasiAlbert(500, 4, graph_rng);
+  g.BuildAdjacencyIndex();
+  const AdjacencyIndex& index = *g.adjacency_index();
+  Rng rng(20240608);
+  std::vector<VertexId> us(64);
+  std::vector<VertexId> vs(64);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const int count = static_cast<int>(rng.UniformInt(65));
+    for (int i = 0; i < count; ++i) {
+      us[i] = static_cast<VertexId>(rng.UniformInt(g.NumNodes()));
+      vs[i] = static_cast<VertexId>(rng.UniformInt(g.NumNodes()));
+    }
+    const uint64_t scalar =
+        index.PairProbeBatchScalar(us.data(), vs.data(), count);
+    const uint64_t avx2 =
+        index.PairProbeBatchAvx2(us.data(), vs.data(), count);
+    ASSERT_EQ(scalar, avx2) << "trial " << trial << " count " << count;
+    ASSERT_EQ(index.PairProbeBatch(us.data(), vs.data(), count), scalar);
+    if (count < 64) {
+      ASSERT_EQ(scalar >> count, 0ull);
+    }
+    // Soundness spot check: an admitted=0 pair is never a real edge (the
+    // signature filter has no false negatives).
+    for (int i = 0; i < count; ++i) {
+      if (((scalar >> i) & 1ull) == 0) {
+        ASSERT_FALSE(g.HasEdge(us[i], vs[i]))
+            << "filter rejected a real edge " << us[i] << "-" << vs[i];
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, VectorContainsAvx2MatchesLinearScanOnSortedLists) {
+  // Same property for the branchless masked membership scan that
+  // resolves short/mid lists in HasEdge: identical verdicts to the
+  // scalar early-exit scan on every sorted list — random lengths 0..80
+  // (crossing several 16-entry blocks), probes mixing present entries,
+  // absent in-range values, below-front and past-back values, and id 0
+  // (which must not alias the masked load's zero fill).
+  if (!SignatureProbeBatchHasAvx2()) {
+    GTEST_SKIP() << "no AVX2 at runtime; dispatched path is scalar";
+  }
+  Rng rng(20240609);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const size_t len = rng.UniformInt(81);
+    std::vector<VertexId> list(len);
+    for (size_t i = 0; i < len; ++i) {
+      list[i] = (trial % 2 == 0)
+                    ? static_cast<VertexId>(rng.UniformInt(200))
+                    : static_cast<VertexId>(rng());
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    for (int probe = 0; probe < 8; ++probe) {
+      VertexId v;
+      switch (probe) {
+        case 0: v = 0; break;
+        case 1: v = ~VertexId{0}; break;
+        case 2:
+          v = list.empty() ? 7
+                           : list[rng.UniformInt(list.size())];  // present
+          break;
+        default: v = static_cast<VertexId>(rng()); break;
+      }
+      const bool scalar =
+          AdjacencyIndex::LinearContains(list.data(), list.size(), v);
+      const bool avx2 =
+          AdjacencyIndex::VectorContainsAvx2(list.data(), list.size(), v);
+      ASSERT_EQ(scalar, avx2)
+          << "trial " << trial << " len " << list.size() << " v " << v;
+      ASSERT_EQ(scalar, std::binary_search(list.begin(), list.end(), v));
+    }
+  }
+}
+
 TEST(GraphTest, MaxDegreeCachedAndSharedAcrossCopies) {
   Rng rng(41);
   const Graph g = BarabasiAlbert(300, 3, rng);

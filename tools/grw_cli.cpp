@@ -19,6 +19,7 @@
 //   grw estimate <graph> --k K [--d D] [--css 0|1] [--nb 0|1]
 //       [--steps N] [--seed S] [--chains C] [--threads T] [--counts]
 //       [--target-nrmse X] [--max-steps N] [--quiet] [--no-index]
+//       [--batch] [--lanes W]
 //       [--crawl] [--budget-queries B] [--cache-size C] [--latency-us L]
 //       Random-walk estimation (the paper's Algorithm 1) on the parallel
 //       estimation engine: --chains independent chains merged into one
@@ -31,7 +32,10 @@
 //       with per-query accounting and optional simulated latency, and
 //       --budget-queries stops the run once B distinct neighbor-list
 //       fetches were spent across chains. Estimates are bit-identical to
-//       the full-access run; only cost and stopping change.
+//       the full-access run; only cost and stopping change. --batch runs
+//       chains through the W-lane SoA walk kernel (walk/batched_walk.h,
+//       --lanes per unit, default 8) — same estimates bit-for-bit, higher
+//       single-thread throughput via cross-lane prefetch + SIMD probes.
 //
 // Every place a <graph> is taken, text edge lists, `.grwb` snapshots, and
 // registry dataset names are all accepted (format auto-detected).
@@ -81,6 +85,8 @@ int Usage() {
       "  estimate <graph> --k K [--chains C] [--target-nrmse X]\n"
       "           [--max-steps N] ...     random-walk estimation with\n"
       "                                   convergence-driven stopping\n"
+      "           [--batch] [--lanes W]  batched SoA walk kernel: same\n"
+      "                                   estimates, lockstep lanes\n"
       "           [--crawl] [--budget-queries B] [--cache-size C]\n"
       "           [--latency-us L]         crawl scenario: LRU-cached\n"
       "                                   restricted access, stop at B\n"
@@ -320,6 +326,17 @@ int CmdEstimate(const grw::Flags& flags) {
   options.crawl.budget_queries = static_cast<uint64_t>(budget_queries);
   options.crawl.cache_entries = static_cast<uint64_t>(cache_size);
   options.crawl.latency_us = latency_us;
+
+  // Batched kernel: estimates are bit-identical to the scalar path, so
+  // this is purely a throughput knob. --lanes implies --batch.
+  const int64_t lanes = flags.GetInt("lanes", 0);
+  if (flags.Has("lanes") && lanes < 1) {
+    throw std::runtime_error("--lanes must be >= 1");
+  }
+  options.batch.enabled = flags.GetBool("batch") || flags.Has("lanes");
+  if (lanes > 0) {
+    options.batch.lanes = static_cast<int>(lanes);
+  }
 
   if (options.target_nrmse > 0.0 || options.chains > 1) {
     // Fix the round slicing here so --quiet (which only drops the
