@@ -130,10 +130,17 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
           out += "\\r";
           break;
         default:
-          // Remaining control characters would need \u00XX escapes;
-          // metric/context strings never contain them, so drop to keep
-          // the output parseable no matter what.
-          if (static_cast<unsigned char>(c) >= 0x20) out += c;
+          // Remaining control characters (a stray control byte in a
+          // graph path ends up in the context string) get proper \u00XX
+          // escapes — dropping them would silently mangle the field.
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof(esc), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += esc;
+          } else {
+            out += c;
+          }
       }
     }
     return out;

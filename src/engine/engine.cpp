@@ -175,6 +175,7 @@ struct LoopOutput {
   std::vector<std::vector<double>> standard_errors;    // per stream
   double max_rel_error = std::numeric_limits<double>::infinity();
   bool converged = false;
+  bool cancelled = false;
   bool budget_exhausted = false;
   CrawlStats access;                        // summed in chain order
   std::vector<CrawlStats> per_chain_access;  // crawl mode only
@@ -248,6 +249,13 @@ LoopOutput RunLoop(
 
   uint64_t done = 0;
   while (done < opt.max_steps) {
+    // Cooperative cancellation (deadlines in the serve layer): honored
+    // before any work and between rounds, so the outputs below always
+    // describe a whole number of completed rounds.
+    if (opt.cancel && opt.cancel()) {
+      out.cancelled = true;
+      break;
+    }
     const uint64_t delta = std::min<uint64_t>(round_steps,
                                               opt.max_steps - done);
     pool.ForEach(
@@ -376,6 +384,12 @@ LoopOutput RunLoop(
 
 }  // namespace
 
+uint64_t ChainBudgetShare(uint64_t budget_queries, int chains, int chain) {
+  const auto n = static_cast<uint64_t>(chains);
+  return budget_queries / n +
+         (static_cast<uint64_t>(chain) < budget_queries % n ? 1 : 0);
+}
+
 EstimationEngine::EstimationEngine(const Graph& g,
                                    const EstimatorConfig& config,
                                    EngineOptions options)
@@ -417,15 +431,13 @@ EngineResult EstimationEngine::Run() {
     access_options.cache_entries = crawl.cache_entries;
     access_options.latency_us = crawl.latency_us;
     if (crawl.budget_queries > 0) {
-      // Fixed share of the total budget: B/chains each, remainder to the
-      // first B%chains chains (B >= chains was validated, so every share
-      // is positive). A chain stops after the step that crosses its
-      // share, so the total can overshoot B by at most one step's
-      // fetches per chain — reported honestly in EngineResult::access.
+      // Fixed share of the total budget (B >= chains was validated, so
+      // every share is positive). A chain stops after the step that
+      // crosses its share, so the total can overshoot B by at most one
+      // step's fetches per chain — reported honestly in
+      // EngineResult::access.
       access_options.query_budget =
-          crawl.budget_queries / chains +
-          (static_cast<uint64_t>(c) < crawl.budget_queries % chains ? 1
-                                                                    : 0);
+          ChainBudgetShare(crawl.budget_queries, chains, c);
     }
     return access_options;
   };
@@ -464,6 +476,7 @@ EngineResult EstimationEngine::Run() {
   result.standard_errors = std::move(loop.standard_errors[0]);
   result.max_rel_error = loop.max_rel_error;
   result.converged = loop.converged;
+  result.cancelled = loop.cancelled;
   result.budget_exhausted = loop.budget_exhausted;
   result.access = loop.access;
   result.per_chain_access = std::move(loop.per_chain_access);

@@ -127,9 +127,27 @@ struct EngineOptions {
 
   /// Invoked after every round with a progress snapshot.
   std::function<void(const EngineProgress&)> on_progress;
+
+  /// Cooperative cancellation, polled at round boundaries (including
+  /// before the first): return true to stop the run with whatever the
+  /// chains accumulated so far — EngineResult::cancelled reports it, and
+  /// the merged/per-chain results are a consistent snapshot of the last
+  /// completed round (so a caller may inspect, report, or resume from
+  /// them). The serve layer uses this for per-request deadlines;
+  /// round_steps bounds the poll latency.
+  std::function<bool()> cancel;
+
   /// Pool to run on; nullptr = ChainPool::Shared().
   ChainPool* pool = nullptr;
 };
+
+/// Chain `chain`'s fixed share of a total distinct-query budget split
+/// across `chains` chains: floor(B/chains) each, remainder to the first
+/// B % chains chains. Depends on the chain's global index alone (batched
+/// lane grouping cannot move budget between chains) and the shares sum
+/// exactly to `budget_queries` over chain in [0, chains). The engine
+/// validates B >= chains, so every share is positive there.
+uint64_t ChainBudgetShare(uint64_t budget_queries, int chains, int chain);
 
 /// Outcome of one engine run.
 struct EngineResult {
@@ -147,6 +165,9 @@ struct EngineResult {
   double max_rel_error = 0.0;
   /// True when the target was reached before the step cap.
   bool converged = false;
+  /// True when EngineOptions::cancel stopped the run early; merged and
+  /// per-chain results cover the rounds completed before cancellation.
+  bool cancelled = false;
   /// Crawl mode only: true once every chain spent its distinct-query
   /// share (the run stopped on budget rather than steps/convergence).
   bool budget_exhausted = false;

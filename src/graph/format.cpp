@@ -207,6 +207,7 @@ GrwbInfo InspectGraphBinary(const std::string& path) {
   info.num_half_edges = h.num_half_edges;
   info.flags = h.flags;
   info.file_bytes = file.size();
+  info.data_checksum = h.data_checksum;
   return info;
 }
 

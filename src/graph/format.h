@@ -51,6 +51,11 @@ struct GrwbInfo {
   uint64_t num_half_edges = 0;  // == 2 * |E|
   uint32_t flags = 0;
   uint64_t file_bytes = 0;
+  /// FNV-1a over the CSR arrays, straight from the (validated) header —
+  /// a content identity that costs one header read, not a full-file
+  /// scan. The serve registry keys its warm snapshot/index cache on
+  /// (path, data_checksum).
+  uint64_t data_checksum = 0;
   bool DegreeRelabeled() const {
     return (flags & kGrwbFlagDegreeRelabeled) != 0;
   }

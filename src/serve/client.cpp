@@ -1,0 +1,75 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace grw::serve {
+
+QueryClient::QueryClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("query: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("query: invalid host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    throw std::runtime_error("query: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+QueryClient::~QueryClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string QueryClient::RoundTrip(const std::string& line) {
+  std::string request = line;
+  request += '\n';
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::write(fd_, request.data() + off, request.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("query: write failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  char chunk[4096];
+  while (true) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("query: server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace grw::serve

@@ -1,0 +1,33 @@
+// Blocking line-protocol client for the estimation service.
+//
+// Shared by the `grw query` subcommand, the bench load generator and the
+// serve tests: connect once, then RoundTrip() request lines — the server
+// answers strictly in order, so one in-flight request per client needs
+// no correlation ids.
+
+#pragma once
+
+#include <string>
+
+namespace grw::serve {
+
+class QueryClient {
+ public:
+  /// Connects to host:port; throws std::runtime_error on failure.
+  QueryClient(const std::string& host, int port);
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Sends `line` (newline appended) and returns the single response
+  /// line, without its newline. Throws std::runtime_error if the server
+  /// hangs up mid-exchange.
+  std::string RoundTrip(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned response line
+};
+
+}  // namespace grw::serve

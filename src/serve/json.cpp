@@ -1,0 +1,275 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace grw::serve {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+      case '\\':
+        out += '\\';
+        out += c;
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Plain recursive descent over the string_view; `pos` advances past each
+// consumed token. Any failure returns false and poisons the whole parse.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    SkipSpace();
+    if (!ParseValue(out, /*depth=*/0)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == 'n') {
+      out.type = JsonValue::Type::kNull;
+      return Literal("null");
+    }
+    if (c == 't') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return Literal("false");
+    }
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return ParseString(out.str);
+    }
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '{') return ParseObject(out, depth);
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The protocol only ever emits \u00XX; decode the Latin-1
+          // range as UTF-8 and reject surrogates outright.
+          if (code >= 0xD800 && code <= 0xDFFF) return false;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const size_t first = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return pos_ > first;
+    };
+    const size_t int_start = pos_;
+    if (!digits()) return false;
+    // JSON grammar: the integer part is "0" or [1-9][0-9]* — a leading
+    // zero followed by more digits is not a number.
+    if (text_[int_start] == '0' && pos_ - int_start > 1) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.raw.assign(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    out.number = std::strtod(out.raw.c_str(), &end);
+    if (end != out.raw.c_str() + out.raw.size()) return false;
+    return std::isfinite(out.number);
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipSpace();
+      if (!ParseValue(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') return false;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.fields.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  JsonValue value;
+  Parser parser(text);
+  if (!parser.Parse(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace grw::serve

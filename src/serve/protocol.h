@@ -1,0 +1,115 @@
+// Wire protocol of the estimation service (`grw serve` / `grw query`).
+//
+// Line-oriented and human-typeable: a client sends one request per line
+// and receives one single-line JSON object per request, in order.
+//
+//   PING
+//   LIST
+//   ESTIMATE graph=<id> k=<3..6> [d=D] [css=0|1] [nb=0|1] [steps=N]
+//            [target_nrmse=X] [seed=S] [chains=C] [crawl=0|1]
+//            [budget=B] [cache=C] [deadline_ms=MS] [tenant=NAME]
+//
+// Field semantics and *defaults* mirror `grw estimate` exactly — d
+// defaults to (k == 3 ? 1 : 2), css to (d <= 2), nb to (k == 3), steps to
+// 100000, seed to 42, chains to 1 — and ToEngineOptions() reproduces the
+// CLI's round-steps pinning, so a served estimate is bit-identical to the
+// CLI run with the same snapshot and fields (the CI serve smoke diffs the
+// two). `budget`/`cache`/`crawl` switch the request onto the crawl
+// accounting layer like the CLI's crawl flags; `deadline_ms` arms
+// cooperative cancellation (EngineOptions::cancel) measured from
+// admission; `tenant` attributes the request to a per-tenant
+// distinct-query budget when the server enforces one.
+//
+// Parsing is *strict*, with the same full-string numeric rules as the
+// flag parser (util/flags.h ParseInt64/ParseDouble/ParseBool): unknown
+// verbs, unknown keys, bare words, malformed or out-of-range numbers all
+// produce a one-line error *response* — never a crash, never a silent
+// misparse. Server-side resource limits (max steps, max chains) are
+// enforced here too, so a hostile "huge budget" request dies at parse
+// time instead of occupying a worker.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/estimator.h"
+#include "engine/engine.h"
+
+namespace grw::serve {
+
+/// Server-side caps applied at parse time. Requests beyond them are
+/// rejected with an error response (admission control for resources the
+/// scheduler's queue bound cannot see).
+struct RequestLimits {
+  uint64_t max_steps = 50'000'000;
+  int max_chains = 256;
+};
+
+/// One parsed ESTIMATE request. Defaults match `grw estimate`.
+struct EstimateRequest {
+  std::string graph;
+  EstimatorConfig config;  // k/d/css/nb resolved to CLI defaults
+  uint64_t max_steps = 100000;
+  uint64_t seed = 42;
+  int chains = 1;
+  double target_nrmse = 0.0;
+  /// Crawl accounting: enabled by crawl=1 or a budget/cache field, like
+  /// the CLI's presence-based crawl flags.
+  bool crawl = false;
+  uint64_t budget_queries = 0;
+  uint64_t cache_entries = 0;
+  /// 0 = no deadline. Measured from admission (queue wait counts).
+  double deadline_ms = 0.0;
+  std::string tenant;
+};
+
+struct Request {
+  enum class Verb { kPing, kList, kEstimate };
+  Verb verb = Verb::kPing;
+  EstimateRequest estimate;  // verb == kEstimate only
+};
+
+/// Outcome of parsing one request line: either a request or the error
+/// text to send back (exactly one is set).
+struct ParsedRequest {
+  std::optional<Request> request;
+  std::string error;
+};
+
+/// Parses one request line (without the trailing newline; a trailing
+/// '\r' is tolerated for netcat/CRLF clients).
+ParsedRequest ParseRequestLine(std::string_view line,
+                               const RequestLimits& limits);
+
+/// Engine options for a parsed request: chains/steps/seed/target plus the
+/// crawl block, with round_steps pinned by the same rule as the CLI (so
+/// stopping points — and therefore estimates — match `grw estimate`
+/// bit-for-bit). A request with a deadline additionally pins round_steps
+/// so cancellation has round boundaries to land on; that never changes
+/// the merged estimate of a completed run. The caller wires pool/cancel.
+EngineOptions ToEngineOptions(const EstimateRequest& req);
+
+/// Response lines (all single-line JSON objects, no trailing newline).
+std::string ErrorResponse(std::string_view error);
+std::string PingResponse();
+
+/// {"ok":true,...,"labels":[...],"concentrations":[...]} with the
+/// concentrations in paper order, %.17g (bit-exact round trip).
+std::string EstimateResponse(const EstimateRequest& req,
+                             const EngineResult& result);
+
+/// One registry entry for LIST responses.
+struct GraphListEntry {
+  std::string id;
+  std::string path;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  uint64_t checksum = 0;
+};
+std::string ListResponse(const std::vector<GraphListEntry>& graphs);
+
+}  // namespace grw::serve

@@ -1,0 +1,80 @@
+#include "serve/registry.h"
+
+#include "graph/format.h"
+
+namespace grw::serve {
+
+void SnapshotRegistry::Register(const std::string& id,
+                                const std::string& path, bool build_index) {
+  Entry entry;
+  entry.path = path;
+
+  std::string content_key;
+  if (IsGraphBinaryFile(path)) {
+    // One header read gives the content identity before we decide
+    // whether a resident mapping can be reused.
+    entry.checksum = InspectGraphBinary(path).data_checksum;
+    content_key = path + '\0' + std::to_string(entry.checksum);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!content_key.empty()) {
+      auto it = by_content_.find(content_key);
+      if (it != by_content_.end()) {
+        entry.graph = it->second;  // shares mapping + warm index
+        entries_[id] = std::move(entry);
+        return;
+      }
+    }
+  }
+
+  // Load outside the lock: mmap is fast but text parsing is not, and a
+  // slow registration must not block lookups.
+  Graph g = LoadGraph(path);
+  if (build_index) g.BuildAdjacencyIndex();
+  entry.graph = std::move(g);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!content_key.empty()) by_content_[content_key] = entry.graph;
+  entries_[id] = std::move(entry);
+}
+
+void SnapshotRegistry::RegisterGraph(const std::string& id, Graph graph,
+                                     const std::string& label) {
+  Entry entry;
+  entry.path = label;
+  entry.graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[id] = std::move(entry);
+}
+
+std::optional<Graph> SnapshotRegistry::Find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.graph;
+}
+
+std::vector<GraphListEntry> SnapshotRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GraphListEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    GraphListEntry e;
+    e.id = id;
+    e.path = entry.path;
+    e.nodes = entry.graph.NumNodes();
+    e.edges = entry.graph.NumEdges();
+    e.checksum = entry.checksum;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+size_t SnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace grw::serve

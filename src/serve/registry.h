@@ -1,0 +1,76 @@
+// Resident snapshot registry: the storage layer of the estimation
+// service.
+//
+// `grw serve` answers queries for many graphs from one process. The
+// `.grwb` substrate (graph/format.h) makes that cheap — a snapshot open
+// is one mmap (~µs) and pages fault in on demand — so the registry keeps
+// every registered graph resident for the daemon's lifetime and shares
+// the expensive warm state:
+//
+//   * snapshots are keyed by (path, header data checksum): two ids
+//     registered over the same bytes share ONE mapping and ONE
+//     AdjacencyIndex (Graph copies share backing and index), so
+//     multi-tenant aliases of a popular graph cost nothing extra;
+//   * the AdjacencyIndex is built exactly once per distinct snapshot, at
+//     registration — requests never pay the index build;
+//   * lookups return a Graph *copy* (spans + shared_ptr backing): a
+//     request keeps its graph alive even if the id is replaced mid-run.
+//
+// Thread-safe: registration and lookup take one mutex; the returned
+// Graph is immutable shared state.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "serve/protocol.h"
+
+namespace grw::serve {
+
+class SnapshotRegistry {
+ public:
+  /// Loads `path` and registers it under `id`, replacing any previous
+  /// binding of the id. `.grwb` snapshots mmap zero-copy and are keyed
+  /// by (path, header data checksum) — re-registering an unchanged file
+  /// reuses the resident mapping and its warm AdjacencyIndex; a changed
+  /// checksum loads fresh. Text edge lists are accepted too (parsed,
+  /// checksum 0, never shared by key). Builds the AdjacencyIndex unless
+  /// `build_index` is false. Throws std::runtime_error on load failure.
+  void Register(const std::string& id, const std::string& path,
+                bool build_index = true);
+
+  /// Registers an in-memory graph (tests, the bench load generator).
+  void RegisterGraph(const std::string& id, Graph graph,
+                     const std::string& label = "<memory>");
+
+  /// The graph bound to `id`, as a cheap copy sharing backing and index;
+  /// nullopt for unknown ids.
+  std::optional<Graph> Find(const std::string& id) const;
+
+  /// LIST-able view of every binding, in id order.
+  std::vector<GraphListEntry> List() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string path;
+    uint64_t checksum = 0;
+    Graph graph;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;       // id -> binding
+  // (path + '\0' + checksum) -> resident graph, for cross-id sharing of
+  // identical snapshots. Never pruned: entries are one Graph copy each
+  // and a daemon registers a bounded set of graphs.
+  std::map<std::string, Graph> by_content_;
+};
+
+}  // namespace grw::serve

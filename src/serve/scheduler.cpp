@@ -1,0 +1,214 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "engine/engine.h"
+
+namespace grw::serve {
+
+namespace {
+
+std::string DeadlineError(uint64_t steps_per_chain) {
+  std::string out = "deadline exceeded";
+  if (steps_per_chain > 0) {
+    out += " after " + std::to_string(steps_per_chain) + " steps/chain";
+  } else {
+    out += " before the run started";
+  }
+  return out;
+}
+
+}  // namespace
+
+ServeScheduler::ServeScheduler(const SnapshotRegistry* registry,
+                               SchedulerOptions options)
+    : registry_(registry), options_(options) {
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServeScheduler::~ServeScheduler() { Drain(); }
+
+void ServeScheduler::CountError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.errors;
+}
+
+std::string ServeScheduler::HandleLine(std::string_view line) {
+  ParsedRequest parsed = ParseRequestLine(line, options_.limits);
+  if (!parsed.request.has_value()) {
+    CountError();
+    return ErrorResponse(parsed.error);
+  }
+  switch (parsed.request->verb) {
+    case Request::Verb::kPing:
+      return PingResponse();
+    case Request::Verb::kList:
+      return ListResponse(registry_->List());
+    case Request::Verb::kEstimate:
+      return SubmitEstimate(std::move(parsed.request->estimate));
+  }
+  CountError();
+  return ErrorResponse("internal: unhandled verb");
+}
+
+std::string ServeScheduler::SubmitEstimate(EstimateRequest request) {
+  Job job;
+  job.admitted = std::chrono::steady_clock::now();
+  if (request.deadline_ms > 0.0) {
+    job.has_deadline = true;
+    job.deadline =
+        job.admitted + std::chrono::microseconds(static_cast<int64_t>(
+                           request.deadline_ms * 1000.0));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++stats_.errors;
+      return ErrorResponse("server draining, not accepting requests");
+    }
+    if (queue_.size() >= options_.queue_limit) {
+      ++stats_.rejected_queue;
+      ++stats_.errors;
+      return ErrorResponse("server overloaded (queue full)");
+    }
+    // Tenant admission: cap the request's crawl budget by the tenant's
+    // remaining allowance. The engine then enforces it chain-locally and
+    // reports the actual distinct fetches, charged back on completion.
+    if (!request.tenant.empty() && options_.tenant_budget > 0) {
+      const uint64_t spent = tenant_spent_[request.tenant];
+      const uint64_t remaining =
+          spent >= options_.tenant_budget ? 0
+                                          : options_.tenant_budget - spent;
+      uint64_t cap = remaining;
+      if (request.budget_queries > 0) {
+        cap = std::min(cap, request.budget_queries);
+      }
+      if (cap < static_cast<uint64_t>(request.chains)) {
+        ++stats_.errors;
+        return ErrorResponse(
+            "tenant '" + request.tenant + "': distinct-query budget "
+            "exhausted (" + std::to_string(remaining) + " of " +
+            std::to_string(options_.tenant_budget) + " remaining, need >= " +
+            std::to_string(request.chains) + ")");
+      }
+      request.crawl = true;
+      request.budget_queries = cap;
+      job.tenant_cap = cap;
+    }
+    job.request = std::move(request);
+    ++stats_.accepted;
+    queue_.push_back(&job);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&job] { return job.done; });
+  return std::move(job.response);
+}
+
+void ServeScheduler::WorkerLoop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock,
+                     [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    RunJob(*job);
+  }
+}
+
+void ServeScheduler::RunJob(Job& job) {
+  const EstimateRequest& req = job.request;
+  std::string response;
+  bool ok = false;
+
+  try {
+    if (job.has_deadline &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      // Expired while queued: answer without occupying the pool.
+      response = ErrorResponse(DeadlineError(0));
+    } else {
+      const std::optional<Graph> graph = registry_->Find(req.graph);
+      if (!graph.has_value()) {
+        response = ErrorResponse("unknown graph '" + req.graph + "'");
+      } else {
+        EngineOptions options = ToEngineOptions(req);
+        options.threads = options_.engine_threads;
+        options.pool = options_.pool;  // nullptr = ChainPool::Shared()
+        if (job.has_deadline) {
+          const auto deadline = job.deadline;
+          options.cancel = [deadline] {
+            return std::chrono::steady_clock::now() >= deadline;
+          };
+        }
+        EstimationEngine engine(*graph, req.config, options);
+        const EngineResult result = engine.Run();
+        job.charged_distinct = result.access.distinct_fetches;
+        if (result.cancelled) {
+          response = ErrorResponse(DeadlineError(result.steps_per_chain));
+        } else {
+          response = EstimateResponse(req, result);
+          ok = true;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    response = ErrorResponse(e.what());
+  } catch (...) {
+    response = ErrorResponse("internal error");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+      ++stats_.completed;
+    } else {
+      ++stats_.errors;
+    }
+    // Charge real consumption even for cancelled/failed runs: the
+    // distinct fetches happened either way.
+    if (job.charged_distinct > 0 && !req.tenant.empty() &&
+        options_.tenant_budget > 0) {
+      tenant_spent_[req.tenant] += job.charged_distinct;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.response = std::move(response);
+    job.done = true;
+  }
+  job.cv.notify_one();
+}
+
+void ServeScheduler::Drain() {
+  // drain_mu_ serializes concurrent Drain calls (Stop + destructor);
+  // only the first joins the workers, later calls find them gone.
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServeScheduler::Stats ServeScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace grw::serve

@@ -1,0 +1,138 @@
+// Fair multi-tenant scheduler: many concurrent requests, one shared
+// ChainPool.
+//
+// Connection threads hand request lines to HandleLine(); estimation jobs
+// are executed by a fixed worker pool in strict admission (FIFO) order:
+//
+//   admission   a bounded queue. When `queue_limit` jobs are already
+//               waiting, the request is rejected *immediately* with an
+//               overloaded error — a overwhelmed daemon sheds load
+//               instead of accumulating unbounded latency.
+//   fairness    workers pop FIFO, and every job runs its engine rounds on
+//               the ONE shared ChainPool (EngineOptions::pool), whose job
+//               submission is itself serialized — so R concurrent
+//               requests interleave at round granularity rather than one
+//               request monopolizing the machine until completion.
+//   tenants     optional per-tenant distinct-query budgets reusing the
+//               engine's crawl machinery (EngineOptions::crawl): each
+//               request of tenant T runs with a crawl budget capped by
+//               T's remaining allowance; its measured distinct fetches
+//               are charged back at completion, and a tenant whose
+//               allowance is spent gets an error at admission. The check
+//               is admission-time and the charge completion-time, so
+//               concurrent requests of one tenant can overlap the
+//               boundary by at most their own caps — never another
+//               tenant's.
+//   deadlines   deadline_ms arms EngineOptions::cancel with an absolute
+//               deadline measured from admission (queue wait counts); a
+//               job cancelled mid-run answers `deadline exceeded` with
+//               the steps it completed. Jobs whose deadline passes while
+//               still queued are answered without running at all.
+//   drain       Drain() stops admitting, lets queued + running jobs
+//               finish, and joins the workers — the SIGTERM half of the
+//               daemon's graceful shutdown.
+//
+// Workers never die with a request: every job runs inside a try/catch
+// and any exception (unknown graph shapes, engine validation, OOM-ish
+// std::bad_alloc) becomes an error response.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/chain_pool.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace grw::serve {
+
+struct SchedulerOptions {
+  /// Concurrent estimation jobs (worker threads popping the queue).
+  int workers = 4;
+  /// Jobs allowed to *wait* beyond the ones running; further submissions
+  /// are rejected with an overloaded error.
+  size_t queue_limit = 64;
+  /// Per-tenant distinct-query allowance across a tenant's lifetime
+  /// (0 = unlimited). Requests naming a tenant consume it via crawl
+  /// accounting; anonymous requests are exempt.
+  uint64_t tenant_budget = 0;
+  /// Threads each job may occupy on the shared pool (0 = all).
+  unsigned engine_threads = 0;
+  /// Field caps applied at parse time.
+  RequestLimits limits;
+  /// Pool all jobs share; nullptr = ChainPool::Shared().
+  ChainPool* pool = nullptr;
+};
+
+class ServeScheduler {
+ public:
+  /// The registry must outlive the scheduler.
+  ServeScheduler(const SnapshotRegistry* registry, SchedulerOptions options);
+  /// Drains (blocking) if Drain() was not called explicitly.
+  ~ServeScheduler();
+
+  ServeScheduler(const ServeScheduler&) = delete;
+  ServeScheduler& operator=(const ServeScheduler&) = delete;
+
+  /// Parses and serves one request line, blocking until the single-line
+  /// JSON response is ready. Safe to call from many threads. Never
+  /// throws: malformed input, unknown graphs, overload, deadlines and
+  /// internal errors all come back as error responses.
+  std::string HandleLine(std::string_view line);
+
+  /// Stops admitting, finishes queued + running jobs, joins workers.
+  /// Idempotent; HandleLine after Drain answers with an error.
+  void Drain();
+
+  struct Stats {
+    uint64_t accepted = 0;        // estimation jobs admitted
+    uint64_t completed = 0;       // estimation jobs answered ok
+    uint64_t errors = 0;          // error responses of any kind
+    uint64_t rejected_queue = 0;  // admission-control rejections
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    EstimateRequest request;
+    std::chrono::steady_clock::time_point admitted;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    uint64_t tenant_cap = 0;  // effective crawl budget, 0 = none
+
+    // Completion signalling (the submitting connection thread waits).
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string response;
+    uint64_t charged_distinct = 0;  // tenant accounting, set by worker
+  };
+
+  std::string SubmitEstimate(EstimateRequest request);
+  void RunJob(Job& job);
+  void WorkerLoop();
+  void CountError();
+
+  const SnapshotRegistry* registry_;
+  SchedulerOptions options_;
+  std::vector<std::thread> workers_;
+
+  std::mutex drain_mu_;  // serializes Drain callers
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job*> queue_;
+  bool draining_ = false;
+  Stats stats_;
+  std::map<std::string, uint64_t> tenant_spent_;
+};
+
+}  // namespace grw::serve

@@ -1,0 +1,163 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace grw::serve {
+
+namespace {
+
+// write() the whole buffer, riding out EINTR and partial writes. Returns
+// false on a dead peer (response dropped, connection will close).
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeServer::ServeServer(const SnapshotRegistry* registry,
+                         ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+void ServeServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: invalid host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + options_.host +
+                             ":" + std::to_string(options_.port) + ": " +
+                             err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  scheduler_ = std::make_unique<ServeScheduler>(registry_,
+                                                options_.scheduler);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void ServeServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    // Poll with a timeout so Stop() is noticed even with no traffic.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (stopping_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { Connection(fd); });
+  }
+}
+
+void ServeServer::Connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF (peer or Stop's SHUT_RD) or error
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while (open && (nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      std::string response = scheduler_->HandleLine(line);
+      response += '\n';
+      if (!WriteAll(fd, response)) open = false;
+    }
+    if (buffer.size() > options_.max_line_bytes) {
+      // A peer streaming an endless unterminated "line" is not speaking
+      // the protocol; answer once and hang up.
+      WriteAll(fd, ErrorResponse("request line too long") + "\n");
+      break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+void ServeServer::Stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true);
+    if (listen_fd_ >= 0) {
+      // Unblocks the accept poll immediately on most platforms; the 200ms
+      // poll timeout covers the rest.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      // Half-close every connection: their read() returns 0, the threads
+      // finish the request in hand (write side intact) and exit.
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    }
+    // conn_threads_ only grows from the accept thread, which is joined:
+    // safe to join without the lock.
+    for (std::thread& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+    if (scheduler_) scheduler_->Drain();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    running_.store(false);
+  });
+}
+
+ServeScheduler::Stats ServeServer::stats() const {
+  return scheduler_ ? scheduler_->stats() : ServeScheduler::Stats{};
+}
+
+}  // namespace grw::serve

@@ -1,8 +1,59 @@
 #include "util/flags.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace grw {
+
+namespace {
+
+// strtoll/strtod skip leading whitespace and accept partial prefixes;
+// strictness means neither: the conversion must start at byte 0 and
+// consume the whole string.
+bool StrictStart(const std::string& s) {
+  return !s.empty() && !std::isspace(static_cast<unsigned char>(s.front()));
+}
+
+[[noreturn]] void FlagError(const std::string& name, const char* kind,
+                            const std::string& value) {
+  std::fprintf(stderr, "flag --%s: invalid %s '%s'\n", name.c_str(), kind,
+               value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt64(const std::string& s) {
+  if (!StrictStart(s)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;  // out of int64 range: no clamp
+  if (end != s.c_str() + s.size() || end == s.c_str()) return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+std::optional<double> ParseDouble(const std::string& s) {
+  if (!StrictStart(s)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || end == s.c_str()) return std::nullopt;
+  // Overflow clamps to +-HUGE_VAL with ERANGE: reject. Underflow (also
+  // ERANGE on some libcs) returns the nearest representable value near
+  // zero, which is fine. Literal inf/nan are rejected as non-values.
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> ParseBool(const std::string& s) {
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return std::nullopt;
+}
 
 Flags::Flags(int argc, char** argv) {
   if (argc > 0) program_name_ = argv[0];
@@ -41,20 +92,26 @@ std::string Flags::GetString(const std::string& name,
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::optional<int64_t> v = ParseInt64(it->second);
+  if (!v.has_value()) FlagError(name, "integer", it->second);
+  return *v;
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::optional<double> v = ParseDouble(it->second);
+  if (!v.has_value()) FlagError(name, "number", it->second);
+  return *v;
 }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  const std::string& v = it->second;
-  return v.empty() || v == "1" || v == "true" || v == "yes" || v == "on";
+  if (it->second.empty()) return true;  // value-less switch
+  const std::optional<bool> v = ParseBool(it->second);
+  if (!v.has_value()) FlagError(name, "boolean", it->second);
+  return *v;
 }
 
 }  // namespace grw

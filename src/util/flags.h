@@ -3,15 +3,40 @@
 // Supports `--name value` and `--name=value` forms plus boolean switches
 // (`--paper`). Deliberately minimal: the benches take a handful of knobs
 // (steps, sims, scale, csv path) and we avoid an external dependency.
+//
+// Numeric values are parsed *strictly* — the whole string must be a valid
+// in-range number — and a malformed value is a hard error with a
+// diagnostic (`flag --lanes: invalid integer 'abc'`), never a silent
+// misparse: `--budget-queries=10k` used to read as 10 and `--lanes=abc`
+// as 0. The underlying ParseInt64/ParseDouble/ParseBool helpers are
+// exposed because the serve request protocol (src/serve/protocol.h)
+// applies the same strictness to untrusted request fields, where the
+// right failure mode is an error *response* instead of process exit.
 
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace grw {
+
+/// Strict full-string signed-integer parse (base 10): empty strings,
+/// leading whitespace, trailing junk ("10k"), and out-of-range values all
+/// return nullopt — no silent truncation or clamping.
+std::optional<int64_t> ParseInt64(const std::string& s);
+
+/// Strict full-string floating-point parse. Rejects everything ParseInt64
+/// rejects plus values that overflow to infinity and the literals
+/// inf/nan (a flag or request field is never meaningfully non-finite).
+std::optional<double> ParseDouble(const std::string& s);
+
+/// Strict boolean: {1,true,yes,on} / {0,false,no,off}, nothing else.
+/// Note an *empty* value is not a boolean — the Flags layer maps a
+/// value-less switch (`--paper`) to true before this is consulted.
+std::optional<bool> ParseBool(const std::string& s);
 
 /// Parsed command-line flags.
 class Flags {
@@ -24,9 +49,13 @@ class Flags {
 
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
+  /// Strict: a present, non-empty value that is not a valid in-range
+  /// integer prints `flag --name: invalid integer '...'` and exits(2).
   int64_t GetInt(const std::string& name, int64_t default_value) const;
+  /// Strict like GetInt (`flag --name: invalid number '...'`).
   double GetDouble(const std::string& name, double default_value) const;
-  /// Boolean: present without value or with value in {1,true,yes,on}.
+  /// Boolean: present without value means true; with a value, the value
+  /// must satisfy ParseBool (diagnostic + exit(2) otherwise).
   bool GetBool(const std::string& name, bool default_value = false) const;
 
   const std::vector<std::string>& positional() const { return positional_; }

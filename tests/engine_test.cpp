@@ -348,6 +348,90 @@ TEST(EngineTest, RejectsBadConfiguration) {
       std::invalid_argument);
 }
 
+// -------------------------------------------------- budget + cancel --
+
+TEST(ChainBudgetShareTest, SplitSumsExactlyToBudget) {
+  // The per-chain crawl budget split must conserve the total exactly —
+  // floor division alone loses up to chains-1 queries, which on a tight
+  // budget is the difference between "ran" and "refused". Adversarial
+  // (chains, B) pairs, including B barely >= chains.
+  for (const int chains : {1, 2, 3, 7, 8, 13, 64, 255}) {
+    const auto c = static_cast<uint64_t>(chains);
+    for (const uint64_t budget :
+         {c, c + 1, c + 2, 2 * c - 1, 2 * c + 3, uint64_t{1000},
+          uint64_t{999983}, c * c + c / 2}) {
+      uint64_t sum = 0;
+      uint64_t prev = ~uint64_t{0};
+      for (int chain = 0; chain < chains; ++chain) {
+        const uint64_t share = ChainBudgetShare(budget, chains, chain);
+        // Shares are near-equal (differ by at most 1) and non-increasing
+        // (remainder queries go to the first chains).
+        EXPECT_GE(share, budget / c);
+        EXPECT_LE(share, budget / c + 1);
+        if (chain > 0) {
+          EXPECT_LE(share, prev);
+        }
+        prev = share;
+        sum += share;
+      }
+      EXPECT_EQ(sum, budget) << "chains=" << chains << " B=" << budget;
+    }
+  }
+}
+
+TEST(EngineTest, CancelStopsAtRoundBoundary) {
+  const Graph g = KarateClub();
+  EngineOptions options;
+  options.chains = 2;
+  options.max_steps = 100000;
+  options.round_steps = 1000;
+  int rounds_seen = 0;
+  options.cancel = [&rounds_seen] { return rounds_seen >= 3; };
+  options.on_progress = [&rounds_seen](const EngineProgress&) {
+    ++rounds_seen;
+  };
+  EstimationEngine engine(g, EstimatorConfig{3, 1, false, false}, options);
+  const EngineResult run = engine.Run();
+  EXPECT_TRUE(run.cancelled);
+  EXPECT_EQ(run.rounds, 3);
+  EXPECT_EQ(run.steps_per_chain, 3000u);
+  // A cancelled run still merges what it has.
+  EXPECT_EQ(run.merged.steps, 2u * 3000u);
+  EXPECT_FALSE(run.merged.concentrations.empty());
+}
+
+TEST(EngineTest, CancelBeforeFirstRoundYieldsEmptyRun) {
+  const Graph g = KarateClub();
+  EngineOptions options;
+  options.chains = 2;
+  options.max_steps = 5000;
+  options.cancel = [] { return true; };
+  EstimationEngine engine(g, EstimatorConfig{3, 1, false, false}, options);
+  const EngineResult run = engine.Run();
+  EXPECT_TRUE(run.cancelled);
+  EXPECT_EQ(run.rounds, 0);
+  EXPECT_EQ(run.merged.steps, 0u);
+}
+
+TEST(EngineTest, NullCancelAndFalseCancelRunToCompletion) {
+  const Graph g = KarateClub();
+  EngineOptions options;
+  options.chains = 2;
+  options.max_steps = 3000;
+  options.base_seed = 77;
+  EstimationEngine plain(g, EstimatorConfig{3, 1, false, false}, options);
+  const EngineResult a = plain.Run();
+  options.cancel = [] { return false; };
+  EstimationEngine with_cancel(g, EstimatorConfig{3, 1, false, false},
+                               options);
+  const EngineResult b = with_cancel.Run();
+  // A never-firing cancel hook must not perturb the run.
+  EXPECT_FALSE(a.cancelled);
+  EXPECT_FALSE(b.cancelled);
+  EXPECT_EQ(a.merged.weights, b.merged.weights);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
 TEST(MultiSizeEngineTest, MatchesPerSizeStructureAndDeterminism) {
   Rng rng(21);
   const Graph g = LargestConnectedComponent(HolmeKim(200, 4, 0.5, rng));

@@ -1,0 +1,168 @@
+// Strict numeric parsing tests: the ParseInt64/ParseDouble/ParseBool
+// helpers, the Flags diagnostics built on them (death tests: a malformed
+// flag value must exit(2) with a `flag --name: invalid ...` message, not
+// silently misparse — `--budget-queries=10k` used to read as 10), and
+// the bench JSON writer's control-character escaping.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/flags.h"
+
+namespace grw {
+namespace {
+
+// ---------------------------------------------------------- ParseInt64 --
+
+TEST(StrictParseTest, Int64AcceptsWholeStringIntegers) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-5"), -5);
+  EXPECT_EQ(ParseInt64("+7"), 7);
+  EXPECT_EQ(ParseInt64("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt64("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(StrictParseTest, Int64RejectsGarbageAndTrailingJunk) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+  EXPECT_FALSE(ParseInt64("10k").has_value());  // the original bug
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("7 ").has_value());
+  EXPECT_FALSE(ParseInt64(" 7").has_value());
+  EXPECT_FALSE(ParseInt64("0x10").has_value());  // base 10 only
+  EXPECT_FALSE(ParseInt64("-").has_value());
+  EXPECT_FALSE(ParseInt64("1e3").has_value());
+}
+
+TEST(StrictParseTest, Int64RejectsOutOfRange) {
+  // One past each end of int64: no clamping to min/max.
+  EXPECT_FALSE(ParseInt64("9223372036854775808").has_value());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+// --------------------------------------------------------- ParseDouble --
+
+TEST(StrictParseTest, DoubleAcceptsWholeStringNumbers) {
+  EXPECT_EQ(ParseDouble("1.5"), 1.5);
+  EXPECT_EQ(ParseDouble("-2e3"), -2000.0);
+  EXPECT_EQ(ParseDouble(".5"), 0.5);
+  EXPECT_EQ(ParseDouble("0"), 0.0);
+  EXPECT_EQ(ParseDouble("1e308"), 1e308);
+}
+
+TEST(StrictParseTest, DoubleRejectsGarbageJunkAndNonFinite) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble(" 1.5").has_value());
+  EXPECT_FALSE(ParseDouble("1.5 ").has_value());
+  EXPECT_FALSE(ParseDouble("1e999").has_value());   // overflows to inf
+  EXPECT_FALSE(ParseDouble("-1e999").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+}
+
+// ----------------------------------------------------------- ParseBool --
+
+TEST(StrictParseTest, BoolAcceptsCanonicalFormsOnly) {
+  for (const char* t : {"1", "true", "yes", "on"}) {
+    EXPECT_EQ(ParseBool(t), true) << t;
+  }
+  for (const char* f : {"0", "false", "no", "off"}) {
+    EXPECT_EQ(ParseBool(f), false) << f;
+  }
+  for (const char* bad : {"", "2", "TRUE", "y", "maybe", "01"}) {
+    EXPECT_FALSE(ParseBool(bad).has_value()) << bad;
+  }
+}
+
+// ------------------------------------------------- Flags strict getters --
+
+Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(args);
+  storage.insert(storage.begin(), "test");
+  argv.reserve(storage.size());
+  for (std::string& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsStrictTest, ValidValuesParse) {
+  const Flags flags =
+      MakeFlags({"--steps", "100", "--scale=0.25", "--lcc", "0"});
+  EXPECT_EQ(flags.GetInt("steps", 0), 100);
+  EXPECT_EQ(flags.GetDouble("scale", 1.0), 0.25);
+  EXPECT_FALSE(flags.GetBool("lcc", true));
+  EXPECT_EQ(flags.GetInt("absent", -3), -3);
+}
+
+TEST(FlagsStrictDeathTest, MalformedIntegerExitsWithDiagnostic) {
+  const Flags flags = MakeFlags({"--budget-queries=10k"});
+  EXPECT_EXIT(flags.GetInt("budget-queries", 0),
+              ::testing::ExitedWithCode(2),
+              "flag --budget-queries: invalid integer '10k'");
+}
+
+TEST(FlagsStrictDeathTest, TrailingJunkAndOverflowExit) {
+  const Flags a = MakeFlags({"--lanes=abc"});
+  EXPECT_EXIT(a.GetInt("lanes", 0), ::testing::ExitedWithCode(2),
+              "invalid integer 'abc'");
+  const Flags b = MakeFlags({"--steps=9223372036854775808"});
+  EXPECT_EXIT(b.GetInt("steps", 0), ::testing::ExitedWithCode(2),
+              "invalid integer");
+}
+
+TEST(FlagsStrictDeathTest, MalformedDoubleAndBoolExit) {
+  const Flags a = MakeFlags({"--target-nrmse=0.05x"});
+  EXPECT_EXIT(a.GetDouble("target-nrmse", 0.0),
+              ::testing::ExitedWithCode(2),
+              "flag --target-nrmse: invalid number '0.05x'");
+  const Flags b = MakeFlags({"--css=maybe"});
+  EXPECT_EXIT(b.GetBool("css", true), ::testing::ExitedWithCode(2),
+              "flag --css: invalid boolean 'maybe'");
+}
+
+// ------------------------------------------------- bench JSON escaping --
+
+TEST(BenchJsonTest, EscapesControlCharactersAsUnicode) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "grw_flags_test.json";
+  // \x01 and \x1f have no short escape and used to be dropped silently;
+  // quote/backslash/newline/tab take the usual two-char forms.
+  // Note the split literals: "\x01b" would parse as the single escape
+  // \x1B, swallowing the 'b'.
+  const std::string context = std::string("a\x01" "b\x1f" "\"\\\n\tc");
+  ASSERT_TRUE(bench::WriteBenchJson(path.string(), "bench_x", context,
+                                    {{"metric", 1.0, "unit"}}));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  fs::remove(path);
+  EXPECT_NE(json.find("a\\u0001b\\u001f\\\"\\\\\\n\\tc"),
+            std::string::npos)
+      << json;
+  // No raw control byte may survive into the file.
+  for (char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control byte in output";
+  }
+}
+
+}  // namespace
+}  // namespace grw

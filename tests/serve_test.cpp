@@ -1,0 +1,412 @@
+// Serve-layer tests: JSON round trips, strict protocol parsing (fuzz:
+// truncated lines, bad fields, huge budgets — always an error response,
+// never a crash), snapshot registry sharing, scheduler admission /
+// tenant budgets / deadlines, and the TCP server end to end — including
+// the headline contract: concurrent served estimates are bit-identical
+// to a direct in-process engine run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/paper_ids.h"
+#include "engine/engine.h"
+#include "graph/builder.h"
+#include "graph/format.h"
+#include "graph/generators.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace grw::serve {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ServeJsonTest, EscapingCoversControlBytesAndRoundTrips) {
+  const std::string nasty = std::string("a\x01\x1f\"\\\n\t\rz");
+  const std::string quoted = JsonQuote(nasty);
+  EXPECT_NE(quoted.find("\\u0001"), std::string::npos);
+  EXPECT_NE(quoted.find("\\u001f"), std::string::npos);
+  const auto parsed = ParseJson(quoted);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->type, JsonValue::Type::kString);
+  EXPECT_EQ(parsed->str, nasty);
+}
+
+TEST(ServeJsonTest, NumbersRoundTripBitExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 5e-324}) {
+    const std::string text = JsonNumber(v);
+    const auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    ASSERT_EQ(parsed->type, JsonValue::Type::kNumber);
+    EXPECT_EQ(parsed->number, v) << text;
+    EXPECT_EQ(parsed->raw, text);  // raw text preserved for byte echo
+  }
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(ServeJsonTest, ParsesObjectsArraysAndRejectsMalformed) {
+  const auto doc = ParseJson(
+      R"({"ok": true, "xs": [1, 2.5, "s", null], "nested": {"k": -3}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->Find("ok")->IsTrue());
+  ASSERT_EQ(doc->Find("xs")->items.size(), 4u);
+  EXPECT_EQ(doc->Find("xs")->items[1].number, 2.5);
+  EXPECT_EQ(doc->Find("nested")->Find("k")->number, -3.0);
+  EXPECT_EQ(doc->Find("absent"), nullptr);
+
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01", "1e999", "\"\\ud800\"",
+        "{\"a\":1} extra", "nan", "'single'"}) {
+    EXPECT_FALSE(ParseJson(bad).has_value()) << bad;
+  }
+  // Depth bomb: deeply nested arrays hit the cap, not the stack.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).has_value());
+}
+
+// ------------------------------------------------------------ protocol --
+
+RequestLimits TestLimits() {
+  RequestLimits limits;
+  limits.max_steps = 1'000'000;
+  limits.max_chains = 16;
+  return limits;
+}
+
+TEST(ProtocolTest, ParsesEstimateWithCliDefaults) {
+  const auto parsed =
+      ParseRequestLine("ESTIMATE graph=web k=4", TestLimits());
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error;
+  const EstimateRequest& req = parsed.request->estimate;
+  EXPECT_EQ(req.graph, "web");
+  EXPECT_EQ(req.config.k, 4);
+  EXPECT_EQ(req.config.d, 2);       // k == 3 ? 1 : 2
+  EXPECT_TRUE(req.config.css);      // d <= 2
+  EXPECT_FALSE(req.config.nb);      // k == 3 only
+  EXPECT_EQ(req.max_steps, 100000u);
+  EXPECT_EQ(req.seed, 42u);
+  EXPECT_EQ(req.chains, 1);
+  // k=3 flips the dependent defaults exactly like the CLI.
+  const auto k3 = ParseRequestLine("ESTIMATE graph=g k=3", TestLimits());
+  ASSERT_TRUE(k3.request.has_value());
+  EXPECT_EQ(k3.request->estimate.config.d, 1);
+  EXPECT_TRUE(k3.request->estimate.config.nb);
+}
+
+TEST(ProtocolTest, ParsesFullFieldSetAndCrLf) {
+  const auto parsed = ParseRequestLine(
+      "ESTIMATE graph=g k=5 d=3 css=0 nb=0 steps=5000 seed=9 chains=4 "
+      "target_nrmse=0.05 budget=900 cache=64 deadline_ms=250 tenant=acme\r",
+      TestLimits());
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error;
+  const EstimateRequest& req = parsed.request->estimate;
+  EXPECT_EQ(req.config.d, 3);
+  EXPECT_FALSE(req.config.css);
+  EXPECT_EQ(req.max_steps, 5000u);
+  EXPECT_EQ(req.chains, 4);
+  EXPECT_EQ(req.target_nrmse, 0.05);
+  EXPECT_TRUE(req.crawl);  // budget implies crawl
+  EXPECT_EQ(req.budget_queries, 900u);
+  EXPECT_EQ(req.cache_entries, 64u);
+  EXPECT_EQ(req.deadline_ms, 250.0);
+  EXPECT_EQ(req.tenant, "acme");
+}
+
+TEST(ProtocolTest, FuzzMalformedLinesAlwaysError) {
+  const char* cases[] = {
+      "",                                    // empty line
+      "ESTIMATE",                            // missing fields
+      "ESTIMATE graph=g",                    // missing k
+      "ESTIMATE k=4",                        // missing graph
+      "ESTIMATE graph=g k=",                 // truncated value
+      "ESTIMATE graph=g k",                  // bare token
+      "ESTIMATE graph=g k=4 bogus=1",        // unknown key
+      "ESTIMATE graph=g k=99",               // k out of range
+      "ESTIMATE graph=g k=4 d=9",            // d >= k
+      "ESTIMATE graph=g k=4 steps=10k",      // strict int
+      "ESTIMATE graph=g k=4 steps=0",        // below minimum
+      "ESTIMATE graph=g k=4 steps=2000000",  // above server cap
+      "ESTIMATE graph=g k=4 chains=17",      // above chain cap
+      "ESTIMATE graph=g k=4 chains=0",
+      "ESTIMATE graph=g k=4 target_nrmse=-1",
+      "ESTIMATE graph=g k=4 target_nrmse=abc",
+      "ESTIMATE graph=g k=4 deadline_ms=-5",
+      "ESTIMATE graph=g k=4 budget=99999999999999999999",  // int overflow
+      "ESTIMATE graph=g k=4 chains=4 budget=2",  // budget < chains
+      "PING extra",                          // PING takes no fields
+      "LIST x=1",
+      "FROBNICATE graph=g",                  // unknown verb
+      "estimate graph=g k=4",                // verbs are case-sensitive
+  };
+  for (const char* line : cases) {
+    const auto parsed = ParseRequestLine(line, TestLimits());
+    EXPECT_FALSE(parsed.request.has_value()) << line;
+    EXPECT_FALSE(parsed.error.empty()) << line;
+  }
+}
+
+TEST(ProtocolTest, ToEngineOptionsMirrorsCliRoundStepsPinning) {
+  EstimateRequest req;
+  req.graph = "g";
+  req.config = EstimatorConfig{4, 2, true, false};
+  req.max_steps = 100000;
+
+  // Single chain, no target, no deadline: free-running like the CLI.
+  EXPECT_EQ(ToEngineOptions(req).round_steps, 0u);
+  // Multi-chain or target pins rounds exactly like CmdEstimate.
+  req.chains = 4;
+  EXPECT_EQ(ToEngineOptions(req).round_steps,
+            EngineOptions::DefaultRoundSteps(req.max_steps));
+  req.chains = 1;
+  req.target_nrmse = 0.05;
+  EXPECT_EQ(ToEngineOptions(req).round_steps,
+            EngineOptions::DefaultRoundSteps(req.max_steps));
+  // A deadline needs round boundaries for cancellation to land on.
+  req.target_nrmse = 0.0;
+  req.deadline_ms = 100.0;
+  EXPECT_GT(ToEngineOptions(req).round_steps, 0u);
+}
+
+// ------------------------------------------------------------ registry --
+
+TEST(RegistryTest, SharedSnapshotsReuseBackingAndUnknownIdsMiss) {
+  namespace fs = std::filesystem;
+  Rng rng(3);
+  const Graph g = LargestConnectedComponent(HolmeKim(500, 4, 0.5, rng));
+  const fs::path path = fs::temp_directory_path() / "serve_reg_test.grwb";
+  SaveGraphBinary(g, path.string());
+
+  SnapshotRegistry registry;
+  registry.Register("a", path.string());
+  registry.Register("b", path.string());  // same bytes, different id
+  EXPECT_EQ(registry.size(), 2u);
+
+  const auto ga = registry.Find("a");
+  const auto gb = registry.Find("b");
+  ASSERT_TRUE(ga.has_value());
+  ASSERT_TRUE(gb.has_value());
+  EXPECT_EQ(ga->NumNodes(), g.NumNodes());
+  // Two ids over identical bytes share one mapping and one index.
+  EXPECT_EQ(ga->RawNeighbors().data(), gb->RawNeighbors().data());
+  EXPECT_EQ(ga->adjacency_index(), gb->adjacency_index());
+  EXPECT_NE(ga->adjacency_index(), nullptr);
+
+  EXPECT_FALSE(registry.Find("nope").has_value());
+  const auto list = registry.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].id, "a");
+  EXPECT_EQ(list[0].checksum, list[1].checksum);
+  EXPECT_NE(list[0].checksum, 0u);
+  fs::remove(path);
+}
+
+// ----------------------------------------------------------- scheduler --
+
+SchedulerOptions SmallScheduler(int workers) {
+  SchedulerOptions options;
+  options.workers = workers;
+  options.limits = TestLimits();
+  return options;
+}
+
+TEST(SchedulerTest, ServesPingListEstimateAndErrors) {
+  SnapshotRegistry registry;
+  registry.RegisterGraph("karate", KarateClub());
+  ServeScheduler scheduler(&registry, SmallScheduler(2));
+
+  EXPECT_EQ(scheduler.HandleLine("PING"), PingResponse());
+  const std::string list = scheduler.HandleLine("LIST");
+  EXPECT_NE(list.find("\"karate\""), std::string::npos);
+
+  const std::string ok =
+      scheduler.HandleLine("ESTIMATE graph=karate k=3 steps=2000");
+  EXPECT_NE(ok.find("\"ok\": true"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"concentrations\": ["), std::string::npos);
+
+  const std::string unknown =
+      scheduler.HandleLine("ESTIMATE graph=ghost k=3");
+  EXPECT_NE(unknown.find("unknown graph 'ghost'"), std::string::npos);
+  const std::string bad = scheduler.HandleLine("ESTIMATE graph=karate k=9");
+  EXPECT_NE(bad.find("\"ok\": false"), std::string::npos);
+
+  const ServeScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GE(stats.errors, 2u);
+}
+
+TEST(SchedulerTest, TenantBudgetExhaustsAcrossRequests) {
+  SnapshotRegistry registry;
+  Rng rng(5);
+  registry.RegisterGraph(
+      "g", LargestConnectedComponent(HolmeKim(300, 4, 0.5, rng)));
+  SchedulerOptions options = SmallScheduler(1);
+  options.tenant_budget = 120;
+  ServeScheduler scheduler(&registry, options);
+
+  // Burn the allowance: each request walks far enough to touch well over
+  // 120 distinct vertices, so one or two requests exhaust the tenant.
+  int served = 0;
+  std::string last;
+  for (int i = 0; i < 8; ++i) {
+    last = scheduler.HandleLine(
+        "ESTIMATE graph=g k=3 steps=20000 tenant=acme");
+    if (last.find("\"ok\": true") != std::string::npos) {
+      ++served;
+      continue;
+    }
+    break;
+  }
+  EXPECT_GE(served, 1);
+  EXPECT_NE(last.find("tenant 'acme': distinct-query budget exhausted"),
+            std::string::npos)
+      << last;
+  // Another tenant is unaffected.
+  const std::string other = scheduler.HandleLine(
+      "ESTIMATE graph=g k=3 steps=2000 tenant=other");
+  EXPECT_NE(other.find("\"ok\": true"), std::string::npos) << other;
+  // Anonymous requests bypass tenant accounting entirely.
+  const std::string anon =
+      scheduler.HandleLine("ESTIMATE graph=g k=3 steps=2000");
+  EXPECT_NE(anon.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(SchedulerTest, DeadlineCancelsLongRun) {
+  SnapshotRegistry registry;
+  Rng rng(9);
+  registry.RegisterGraph(
+      "g", LargestConnectedComponent(HolmeKim(2000, 4, 0.5, rng)));
+  ServeScheduler scheduler(&registry, SmallScheduler(1));
+  // A million-step 5-node run takes far longer than 1ms; the deadline
+  // must cancel it at a round boundary with a diagnostic.
+  const std::string response = scheduler.HandleLine(
+      "ESTIMATE graph=g k=5 steps=1000000 deadline_ms=1");
+  EXPECT_NE(response.find("deadline exceeded"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"ok\": false"), std::string::npos);
+}
+
+TEST(SchedulerTest, DrainRefusesNewWorkAndIsIdempotent) {
+  SnapshotRegistry registry;
+  registry.RegisterGraph("karate", KarateClub());
+  ServeScheduler scheduler(&registry, SmallScheduler(2));
+  EXPECT_NE(scheduler.HandleLine("ESTIMATE graph=karate k=3 steps=1000")
+                .find("\"ok\": true"),
+            std::string::npos);
+  scheduler.Drain();
+  scheduler.Drain();  // idempotent
+  const std::string after =
+      scheduler.HandleLine("ESTIMATE graph=karate k=3 steps=1000");
+  EXPECT_NE(after.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(after.find("server draining"), std::string::npos) << after;
+}
+
+// ------------------------------------------------------------- end-to-end --
+
+class ServeEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(17);
+    fixture_ = LargestConnectedComponent(HolmeKim(800, 4, 0.5, rng));
+    fixture_.BuildAdjacencyIndex();
+    registry_.RegisterGraph("fix", fixture_);
+    ServerOptions options;
+    options.port = 0;
+    options.scheduler.workers = 4;
+    server_ = std::make_unique<ServeServer>(&registry_, options);
+    server_->Start();
+  }
+
+  Graph fixture_;
+  SnapshotRegistry registry_;
+  std::unique_ptr<ServeServer> server_;
+};
+
+TEST_F(ServeEndToEndTest, EightConcurrentClientsBitIdenticalToDirectRun) {
+  const std::string line = "ESTIMATE graph=fix k=4 steps=20000 chains=2";
+  // The reference: a direct engine run through the same request mapping.
+  const auto parsed = ParseRequestLine(line, RequestLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  const EstimateRequest& req = parsed.request->estimate;
+  EstimationEngine engine(fixture_, req.config, ToEngineOptions(req));
+  const EngineResult direct = engine.Run();
+  std::vector<std::string> expected;
+  for (const int id : PaperOrder(4)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g",
+                  direct.merged.concentrations[id]);
+    expected.emplace_back(buf);
+  }
+
+  constexpr int kClients = 8;
+  std::atomic<int> matches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      QueryClient client("127.0.0.1", server_->port());
+      for (int r = 0; r < 3; ++r) {
+        const auto json = ParseJson(client.RoundTrip(line));
+        ASSERT_TRUE(json.has_value());
+        ASSERT_TRUE(json->Find("ok")->IsTrue());
+        const JsonValue* conc = json->Find("concentrations");
+        ASSERT_NE(conc, nullptr);
+        ASSERT_EQ(conc->items.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          // Byte-for-byte: the served wire text equals the direct run's
+          // %.17g formatting — not just approximately equal.
+          ASSERT_EQ(conc->items[i].raw, expected[i]);
+        }
+        matches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(matches.load(), kClients * 3);
+}
+
+TEST_F(ServeEndToEndTest, MalformedLinesGetErrorsAndConnectionSurvives) {
+  QueryClient client("127.0.0.1", server_->port());
+  const char* garbage[] = {
+      "ESTIMATE graph=fix k=banana",
+      "\x01\x02\x03 binary noise",
+      "ESTIMATE graph=fix k=4 steps=99999999999999999999",
+      "LIST LIST LIST",
+  };
+  for (const char* line : garbage) {
+    const auto json = ParseJson(client.RoundTrip(line));
+    ASSERT_TRUE(json.has_value()) << line;
+    EXPECT_FALSE(json->Find("ok")->IsTrue()) << line;
+  }
+  // After all that abuse the same connection still serves real work.
+  const auto ok =
+      ParseJson(client.RoundTrip("ESTIMATE graph=fix k=3 steps=2000"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->Find("ok")->IsTrue());
+}
+
+TEST_F(ServeEndToEndTest, StopDrainsGracefullyWithClientsConnected) {
+  QueryClient client("127.0.0.1", server_->port());
+  const auto before =
+      ParseJson(client.RoundTrip("ESTIMATE graph=fix k=3 steps=2000"));
+  ASSERT_TRUE(before.has_value());
+  EXPECT_TRUE(before->Find("ok")->IsTrue());
+  server_->Stop();  // must not hang despite the open connection
+  EXPECT_FALSE(server_->running());
+  const ServeScheduler::Stats stats = server_->stats();
+  EXPECT_GE(stats.completed, 1u);
+}
+
+}  // namespace
+}  // namespace grw::serve

@@ -36,6 +36,16 @@
 //       chains through the W-lane SoA walk kernel (walk/batched_walk.h,
 //       --lanes per unit, default 8) — same estimates bit-for-bit, higher
 //       single-thread throughput via cross-lane prefetch + SIMD probes.
+//       --raw swaps the table for machine-readable `label value` lines
+//       (%.17g), diffable against `grw query --raw`.
+//   grw query <id> [--host H] [--port P] [--raw] [--send 'LINE']
+//       [estimation flags as in `estimate`] [--deadline-ms MS]
+//       [--tenant NAME]
+//       Ask a running `grw_serve` daemon for an estimate over the line
+//       protocol (src/serve/protocol.h). The request mirrors `estimate`'s
+//       defaults field for field, so the served answer is bit-identical
+//       to a local run on the same snapshot. --send bypasses the flag
+//       mapping and ships a raw protocol line (PING, LIST, ...).
 //
 // Every place a <graph> is taken, text edge lists, `.grwb` snapshots, and
 // registry dataset names are all accepted (format auto-detected).
@@ -64,6 +74,8 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graphlet/catalog.h"
+#include "serve/client.h"
+#include "serve/json.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -91,6 +103,13 @@ int Usage() {
       "           [--latency-us L]         crawl scenario: LRU-cached\n"
       "                                   restricted access, stop at B\n"
       "                                   distinct neighbor fetches\n"
+      "           [--raw]                  `label value` lines instead of\n"
+      "                                   the table (diffable vs query)\n"
+      "  query <id> [--host H] [--port P] [--raw] [--send 'LINE']\n"
+      "           [estimation flags] [--deadline-ms MS] [--tenant NAME]\n"
+      "                                   query a running grw_serve daemon;\n"
+      "                                   results are bit-identical to a\n"
+      "                                   local `estimate` run\n"
       "  <graph> may be a text edge list, a .grwb snapshot, or a dataset\n"
       "  name from `grw datasets`.\n",
       stderr);
@@ -360,6 +379,19 @@ int CmdEstimate(const grw::Flags& flags) {
   grw::EstimationEngine engine(g, config, options);
   const grw::EngineResult run = engine.Run();
 
+  if (flags.GetBool("raw")) {
+    // Machine-readable output: one `label value` line per graphlet in
+    // paper order, %.17g so the bytes survive a JSON round trip and the
+    // CI serve smoke can diff this against `grw query --raw`.
+    const auto& order = grw::PaperOrder(config.k);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      std::printf("%s %.17g\n",
+                  grw::PaperLabel(config.k, static_cast<int>(pos)).c_str(),
+                  run.merged.concentrations[order[pos]]);
+    }
+    return 0;
+  }
+
   std::string title =
       config.Name() + ", " +
       std::to_string(run.steps_per_chain) + " steps x " +
@@ -457,6 +489,145 @@ int CmdEstimate(const grw::Flags& flags) {
   return 0;
 }
 
+int CmdQuery(const grw::Flags& flags) {
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int64_t port = flags.GetInt("port", 7411);
+  if (port < 1 || port > 65535) {
+    throw std::runtime_error("--port must be in [1, 65535]");
+  }
+
+  std::string line = flags.GetString("send", "");
+  const bool passthrough = flags.Has("send");
+  if (!passthrough) {
+    if (flags.positional().size() < 2) return Usage();
+    // Build the ESTIMATE line from the same flags `estimate` takes.
+    // Only fields the user actually set go on the wire — the protocol's
+    // defaults are the CLI's defaults, so omission means the same thing
+    // on both sides and the served result stays bit-identical.
+    line = "ESTIMATE graph=" + flags.positional()[1];
+    line += " k=" + std::to_string(flags.GetInt("k", 4));
+    if (flags.Has("d")) {
+      line += " d=" + std::to_string(flags.GetInt("d", 2));
+    }
+    if (flags.Has("css")) {
+      line += std::string(" css=") + (flags.GetBool("css") ? "1" : "0");
+    }
+    if (flags.Has("nb")) {
+      line += std::string(" nb=") + (flags.GetBool("nb") ? "1" : "0");
+    }
+    // The protocol's `steps` is the engine step cap, i.e. the CLI's
+    // --max-steps (defaulting to --steps).
+    line += " steps=" + std::to_string(flags.GetInt(
+                            "max-steps", flags.GetInt("steps", 100000)));
+    line += " seed=" + std::to_string(flags.GetInt("seed", 42));
+    line += " chains=" + std::to_string(flags.GetInt("chains", 1));
+    char buf[64];
+    if (flags.Has("target-nrmse")) {
+      std::snprintf(buf, sizeof(buf), "%.17g",
+                    flags.GetDouble("target-nrmse", 0.0));
+      line += std::string(" target_nrmse=") + buf;
+    }
+    if (flags.GetBool("crawl")) line += " crawl=1";
+    if (flags.Has("budget-queries")) {
+      line += " budget=" + std::to_string(flags.GetInt("budget-queries", 0));
+    }
+    if (flags.Has("cache-size")) {
+      line += " cache=" + std::to_string(flags.GetInt("cache-size", 0));
+    }
+    if (flags.Has("deadline-ms")) {
+      std::snprintf(buf, sizeof(buf), "%.17g",
+                    flags.GetDouble("deadline-ms", 0.0));
+      line += std::string(" deadline_ms=") + buf;
+    }
+    if (flags.Has("tenant")) {
+      line += " tenant=" + flags.GetString("tenant", "");
+    }
+  }
+
+  grw::serve::QueryClient client(host, static_cast<int>(port));
+  const std::string response = client.RoundTrip(line);
+  const auto parsed = grw::serve::ParseJson(response);
+
+  if (passthrough) {
+    // Raw protocol passthrough: echo the response line verbatim; the
+    // exit code still reflects the `ok` field for scripting.
+    std::printf("%s\n", response.c_str());
+    const grw::serve::JsonValue* ok = parsed ? parsed->Find("ok") : nullptr;
+    return ok != nullptr && ok->IsTrue() ? 0 : 1;
+  }
+  if (!parsed) {
+    throw std::runtime_error("unparseable response: " + response);
+  }
+  const grw::serve::JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->IsTrue()) {
+    const grw::serve::JsonValue* err = parsed->Find("error");
+    std::fprintf(stderr, "server error: %s\n",
+                 err != nullptr && !err->str.empty() ? err->str.c_str()
+                                                     : response.c_str());
+    return 1;
+  }
+  const grw::serve::JsonValue* labels = parsed->Find("labels");
+  const grw::serve::JsonValue* conc = parsed->Find("concentrations");
+  if (labels == nullptr || conc == nullptr ||
+      labels->items.size() != conc->items.size()) {
+    throw std::runtime_error("malformed response: " + response);
+  }
+
+  if (flags.GetBool("raw")) {
+    // Echo the server's number *bytes* (the parser keeps the raw text):
+    // no reformatting means this diffs clean against `estimate --raw`.
+    for (size_t i = 0; i < labels->items.size(); ++i) {
+      std::printf("%s %s\n", labels->items[i].str.c_str(),
+                  conc->items[i].raw.c_str());
+    }
+    return 0;
+  }
+
+  const auto num = [&parsed](const char* key, double fallback) {
+    const grw::serve::JsonValue* v = parsed->Find(key);
+    return v != nullptr && v->type == grw::serve::JsonValue::Type::kNumber
+               ? v->number
+               : fallback;
+  };
+  const grw::serve::JsonValue* method = parsed->Find("method");
+  const int k = static_cast<int>(num("k", 0));
+  std::string title =
+      (method != nullptr ? method->str : std::string("estimate")) + ", " +
+      std::to_string(static_cast<long long>(num("steps_per_chain", 0))) +
+      " steps x " +
+      std::to_string(static_cast<long long>(num("chains", 1))) +
+      " chain(s), served in " + grw::Table::Duration(num("seconds", 0.0));
+  const grw::serve::JsonValue* cancelled = parsed->Find("cancelled");
+  if (cancelled != nullptr && cancelled->IsTrue()) {
+    title += ", deadline cancelled";
+  }
+  const grw::serve::JsonValue* exhausted = parsed->Find("budget_exhausted");
+  if (exhausted != nullptr && exhausted->IsTrue()) {
+    title += ", budget exhausted";
+  }
+  grw::Table table(title);
+  table.SetHeader({"graphlet", "name", "estimated concentration"});
+  const bool have_catalog = k >= 3 && k <= grw::kMaxGraphletSize;
+  const auto* order = have_catalog ? &grw::PaperOrder(k) : nullptr;
+  for (size_t i = 0; i < labels->items.size(); ++i) {
+    std::string name = "-";
+    if (have_catalog && i < order->size()) {
+      name = grw::GraphletCatalog::ForSize(k)
+                 .Get((*order)[i])
+                 .name;
+    }
+    table.AddRow({labels->items[i].str, name,
+                  grw::Table::Sci(conc->items[i].number)});
+  }
+  table.Print();
+  if (parsed->Find("distinct_queries") != nullptr) {
+    std::printf("crawl cost: %llu distinct queries (%llu fetches)\n",
+                static_cast<unsigned long long>(num("distinct_queries", 0)),
+                static_cast<unsigned long long>(num("fetches", 0)));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -472,6 +643,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return CmdInfo(flags);
     if (cmd == "exact") return CmdExact(flags);
     if (cmd == "estimate") return CmdEstimate(flags);
+    if (cmd == "query") return CmdQuery(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

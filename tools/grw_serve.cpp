@@ -1,0 +1,146 @@
+// grw_serve — the estimation-as-a-service daemon.
+//
+//   grw_serve [--host H] [--port P] [--workers N] [--queue N]
+//             [--engine-threads T] [--tenant-budget B] [--max-steps N]
+//             [--max-chains N] [--no-index] <id>=<graph> ...
+//
+// Loads every <id>=<graph> binding into a resident SnapshotRegistry
+// (`.grwb` snapshots mmap in microseconds and share warm adjacency
+// indexes across ids; text edge lists and registry dataset names work
+// too), then answers the line/JSON protocol of src/serve/protocol.h on a
+// TCP socket until SIGTERM/SIGINT, which triggers a graceful drain:
+// in-flight and queued requests finish, new ones are refused, and the
+// daemon exits 0 after printing how much it served.
+//
+//   --port 0          ephemeral port; the bound port is printed on the
+//                     "listening" line (scripts parse it)
+//   --workers N       concurrent estimation jobs (default 4)
+//   --queue N         admission-control queue bound (default 64)
+//   --engine-threads  pool threads per job, 0 = all (default 0: jobs
+//                     multiplex round-by-round on the shared ChainPool)
+//   --tenant-budget B lifetime distinct-query allowance per tenant id
+//                     (0 = unlimited)
+//   --max-steps /     per-request caps enforced at parse time
+//   --max-chains
+//
+// Try it:
+//   grw_serve --port 7411 web=web.grwb &
+//   grw query web --port 7411 --k 4 --steps 100000
+//   printf 'PING\nLIST\n' | nc 127.0.0.1 7411
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+
+#include "eval/datasets.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fputs(
+      "usage: grw_serve [--host H] [--port P] [--workers N] [--queue N]\n"
+      "                 [--engine-threads T] [--tenant-budget B]\n"
+      "                 [--max-steps N] [--max-chains N] [--no-index]\n"
+      "                 <id>=<graph> [<id>=<graph> ...]\n"
+      "  <graph> is a .grwb snapshot (preferred: zero-copy mmap), a text\n"
+      "  edge list, or a dataset name from `grw datasets`.\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const grw::Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+
+  grw::serve::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  const int64_t port = flags.GetInt("port", 7411);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "flag --port: out of range [0, 65535]\n");
+    return 2;
+  }
+  options.port = static_cast<int>(port);
+  options.scheduler.workers = static_cast<int>(flags.GetInt("workers", 4));
+  options.scheduler.queue_limit =
+      static_cast<size_t>(flags.GetInt("queue", 64));
+  options.scheduler.engine_threads =
+      static_cast<unsigned>(flags.GetInt("engine-threads", 0));
+  options.scheduler.tenant_budget =
+      static_cast<uint64_t>(flags.GetInt("tenant-budget", 0));
+  options.scheduler.limits.max_steps =
+      static_cast<uint64_t>(flags.GetInt("max-steps", 50000000));
+  options.scheduler.limits.max_chains =
+      static_cast<int>(flags.GetInt("max-chains", 256));
+  const bool build_index = !flags.GetBool("no-index");
+
+  grw::serve::SnapshotRegistry registry;
+  try {
+    for (const std::string& binding : flags.positional()) {
+      const size_t eq = binding.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == binding.size()) {
+        std::fprintf(stderr,
+                     "grw_serve: bad binding '%s' (expected id=graph)\n",
+                     binding.c_str());
+        return 2;
+      }
+      const std::string id = binding.substr(0, eq);
+      const std::string path = binding.substr(eq + 1);
+      if (grw::FindDataset(path).has_value()) {
+        grw::Graph g = grw::MakeDatasetByName(path, 1.0);
+        if (build_index) g.BuildAdjacencyIndex();
+        registry.RegisterGraph(id, std::move(g), path);
+      } else {
+        registry.Register(id, path, build_index);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "grw_serve: %s\n", e.what());
+    return 1;
+  }
+  for (const auto& entry : registry.List()) {
+    std::fprintf(stderr, "[serve] %s: %s (n=%llu m=%llu)\n",
+                 entry.id.c_str(), entry.path.c_str(),
+                 static_cast<unsigned long long>(entry.nodes),
+                 static_cast<unsigned long long>(entry.edges));
+  }
+
+  grw::serve::ServeServer server(&registry, options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "grw_serve: %s\n", e.what());
+    return 1;
+  }
+  // Scripts parse this line (--port 0 binds an ephemeral port).
+  std::printf("grw_serve listening on %s:%d (%zu graphs, %d workers)\n",
+              options.host.c_str(), server.port(), registry.size(),
+              options.scheduler.workers);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (!g_stop) {
+    timespec nap{0, 100'000'000};  // 100ms; signals also interrupt it
+    nanosleep(&nap, nullptr);
+  }
+
+  server.Stop();  // graceful: drains queued + in-flight requests
+  const grw::serve::ServeScheduler::Stats stats = server.stats();
+  std::printf(
+      "grw_serve drained: %llu requests answered (%llu ok, %llu errors, "
+      "%llu shed on overload), shutting down\n",
+      static_cast<unsigned long long>(stats.completed + stats.errors),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.rejected_queue));
+  return 0;
+}
