@@ -22,7 +22,7 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   const int sims = grw::bench::SimCount(flags, 50, 1000);
   const auto graphs =
       grw::bench::LoadBenchGraphs(flags, grw::DatasetTier::kSmall);
@@ -98,5 +98,11 @@ int main(int argc, char** argv) {
   }
   table.Print();
   grw::bench::MaybeWriteCsv(flags, table);
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(table, &metrics);
+  grw::bench::MaybeWriteJson(flags, "bench_ablation_baselines",
+                             "steps=" + std::to_string(steps) +
+                                 ", sims=" + std::to_string(sims),
+                             metrics);
   return 0;
 }

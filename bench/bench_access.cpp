@@ -111,12 +111,12 @@ int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
 
   grw::EstimatorConfig config;
-  config.k = static_cast<int>(flags.GetInt("k", 4));
-  config.d = static_cast<int>(flags.GetInt("d", 2));
+  config.k = flags.GetInt32("k", 4);
+  config.d = flags.GetInt32("d", 2);
   config.css = flags.GetBool("css", true);
   config.nb = flags.GetBool("nb", false);
-  const int sims = static_cast<int>(flags.GetInt("sims", 5));
-  const uint64_t sweep_steps = flags.GetInt("steps", 200000);
+  const int sims = flags.GetInt32("sims", 5);
+  const uint64_t sweep_steps = flags.GetUInt64("steps", 200000);
   const double latency_us = flags.GetDouble("latency-us", 200.0);
   const bool check_identical = flags.GetBool("check-identical");
 

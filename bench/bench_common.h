@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -79,7 +80,7 @@ inline std::vector<BenchGraph> LoadBenchGraphs(const Flags& flags,
 /// --paper, else the bench default.
 inline int SimCount(const Flags& flags, int default_sims,
                     int paper_sims = 1000) {
-  if (flags.Has("sims")) return static_cast<int>(flags.GetInt("sims", 0));
+  if (flags.Has("sims")) return flags.GetInt32("sims", 0);
   return flags.GetBool("paper") ? paper_sims : default_sims;
 }
 
@@ -166,6 +167,50 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
+}
+
+/// Lowercases and squeezes a table label into a snake_case metric-name
+/// fragment: "p99 ms" -> "p99_ms", "NRMSE (%)" -> "nrmse".
+inline std::string MetricNameFragment(const std::string& label) {
+  std::string out;
+  for (char c : label) {
+    const char lc = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+    if ((lc >= 'a' && lc <= 'z') || (lc >= '0' && lc <= '9') || lc == '.') {
+      out += lc;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+/// Derives JSON metrics from a rendered table: every numeric cell becomes
+/// one metric named `<row-label>_<col-label>` (snake_case, first column is
+/// the row label). Non-numeric cells ("19.4 ms", "--", dataset names) are
+/// skipped — the strict ParseDouble decides, so a formatted duration never
+/// sneaks in as a bogus number. Lets the table-regenerating benches mirror
+/// their whole table into the BENCH_*.json trajectory format without
+/// hand-listing each metric.
+inline void AppendTableMetrics(const Table& table,
+                               std::vector<JsonMetric>* metrics,
+                               const std::string& prefix = "") {
+  const std::vector<std::string>& header = table.header();
+  for (const std::vector<std::string>& row : table.rows()) {
+    if (row.empty()) continue;
+    const std::string row_name = MetricNameFragment(row[0]);
+    for (size_t col = 1; col < row.size() && col < header.size(); ++col) {
+      const std::optional<double> v = ParseDouble(row[col]);
+      if (!v.has_value()) continue;
+      JsonMetric m;
+      m.name = prefix;
+      if (!row_name.empty()) m.name += row_name + "_";
+      m.name += MetricNameFragment(header[col]);
+      m.value = *v;
+      metrics->push_back(std::move(m));
+    }
+  }
 }
 
 /// Writes the JSON mirror if --json was given.

@@ -32,10 +32,9 @@ struct Panel {
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);  // paper: 20K
+  const uint64_t steps = flags.GetUInt64("steps", 20000);  // paper: 20K
   const int sims_fast = grw::bench::SimCount(flags, 100, 1000);
-  const int sims_slow = static_cast<int>(
-      flags.GetInt("sims-slow", flags.GetBool("paper") ? 100 : 30));
+  const int sims_slow = flags.GetInt32("sims-slow", flags.GetBool("paper") ? 100 : 30);
 
   const std::vector<Panel> panels = {
       {3, "triangle g32", 1, grw::DatasetTier::kLarge,
@@ -53,6 +52,7 @@ int main(int argc, char** argv) {
         {5, 4, false, false}}},
   };
 
+  std::vector<grw::bench::JsonMetric> metrics;
   for (const Panel& panel : panels) {
     const auto graphs = grw::bench::LoadBenchGraphs(flags, panel.tier);
     const int target =
@@ -79,6 +79,17 @@ int main(int argc, char** argv) {
     }
     table.Print();
     if (panel.k == 3) grw::bench::MaybeWriteCsv(flags, table);
+    // += instead of an operator+ chain: GCC 12 -O2 emits a -Wrestrict
+    // false positive on chained std::string concatenation (PR105651).
+    std::string prefix = "k";
+    prefix += std::to_string(panel.k);
+    prefix += '_';
+    grw::bench::AppendTableMetrics(table, &metrics, prefix);
   }
+  grw::bench::MaybeWriteJson(flags, "bench_fig4_nrmse",
+                             "steps=" + std::to_string(steps) +
+                                 ", sims=" + std::to_string(sims_fast) + "/" +
+                                 std::to_string(sims_slow),
+                             metrics);
   return 0;
 }

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   const int sims = grw::bench::SimCount(flags, 100, 1000);
   const std::string dataset = flags.GetString("dataset", "epinion-sim");
   const double scale = flags.GetDouble("scale", 1.0);
@@ -78,5 +78,12 @@ int main(int argc, char** argv) {
   }
   panel_b.Print();
   grw::bench::MaybeWriteCsv(flags, panel_b);
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(panel_a, &metrics, "weighted_");
+  grw::bench::AppendTableMetrics(panel_b, &metrics, "nrmse_");
+  grw::bench::MaybeWriteJson(flags, "bench_fig5_weighted",
+                             dataset + ", steps=" + std::to_string(steps) +
+                                 ", sims=" + std::to_string(sims),
+                             metrics);
   return 0;
 }

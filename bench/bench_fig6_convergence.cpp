@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
         {5, 4, false, false}}},
   };
 
+  std::vector<grw::bench::JsonMetric> metrics;
   for (const Panel& panel : panels) {
     const int target = grw::PaperOrder(panel.k)[panel.paper_pos];
     for (const std::string& dataset : panel.datasets) {
@@ -79,7 +80,19 @@ int main(int argc, char** argv) {
         table.AddRow(row);
       }
       table.Print();
+      // += instead of an operator+ chain: GCC 12 -O2 emits a -Wrestrict
+      // false positive on chained std::string concatenation (PR105651).
+      std::string prefix = "k";
+      prefix += std::to_string(panel.k);
+      prefix += '_';
+      prefix += grw::bench::MetricNameFragment(dataset);
+      prefix += "_steps";
+      grw::bench::AppendTableMetrics(table, &metrics, prefix);
     }
   }
+  grw::bench::MaybeWriteJson(flags, "bench_fig6_convergence",
+                             "sims=" + std::to_string(sims) +
+                                 ", scale=" + std::to_string(scale),
+                             metrics);
   return 0;
 }

@@ -39,8 +39,10 @@ double StepsPerSecond(const grw::Graph& g,
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t baseline_samples = flags.GetInt("samples", 200000);
+  const uint64_t baseline_samples = flags.GetUInt64("samples", 200000);
   const int sims = grw::bench::SimCount(flags, 60, 1000);
+
+  std::vector<grw::bench::JsonMetric> metrics;
 
   // Panel (a): triangle counts, all datasets.
   {
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
     }
     table.Print();
     grw::bench::MaybeWriteCsv(flags, table);
+    grw::bench::AppendTableMetrics(table, &metrics, "triangle_");
   }
 
   // Panel (b): 4-clique counts, datasets with 4-node ground truth.
@@ -126,6 +129,11 @@ int main(int argc, char** argv) {
                     grw::Table::Int(static_cast<long long>(steps))});
     }
     table.Print();
+    grw::bench::AppendTableMetrics(table, &metrics, "clique4_");
   }
+  grw::bench::MaybeWriteJson(flags, "bench_fig7_fullaccess",
+                             "samples=" + std::to_string(baseline_samples) +
+                                 ", sims=" + std::to_string(sims),
+                             metrics);
   return 0;
 }

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   const int sims = grw::bench::SimCount(flags, 100, 1000);
   const auto& c3 = grw::GraphletCatalog::ForSize(3);
   const int triangle = c3.IdByName("triangle");
@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
   }
   table.Print();
   grw::bench::MaybeWriteCsv(flags, table);
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(table, &metrics, "fixed_");
 
   // Panel (b): convergence on the two largest datasets.
   for (const char* dataset : {"twitter-sim", "sinaweibo-sim"}) {
@@ -87,9 +89,16 @@ int main(int argc, char** argv) {
                                               truth[triangle]), 4)});
     }
     conv.Print();
+    grw::bench::AppendTableMetrics(
+        conv, &metrics,
+        grw::bench::MetricNameFragment(dataset) + "_steps");
   }
   std::printf("crawl cost note: Wedge-MHRW spends %d API calls per step "
               "vs 1 for SRW1CSSNB (Section 6.3.3)\n",
               grw::WedgeMhrw::kApiCallsPerStep);
+  grw::bench::MaybeWriteJson(flags, "bench_fig8_wedge_mhrw",
+                             "steps=" + std::to_string(steps) +
+                                 ", sims=" + std::to_string(sims),
+                             metrics);
   return 0;
 }

@@ -66,9 +66,9 @@ double BestOf(int runs, Fn&& fn) {
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const auto n = static_cast<grw::VertexId>(flags.GetInt("n", 250000));
-  const auto param = static_cast<uint32_t>(flags.GetInt("param", 5));
-  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const auto n = flags.GetUInt32("n", 250000);
+  const auto param = flags.GetUInt32("param", 5);
+  const int runs = flags.GetInt32("runs", 3);
   const double check_speedup = flags.GetDouble("check-speedup", 0.0);
 
   namespace fs = std::filesystem;

@@ -125,13 +125,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto n = static_cast<VertexId>(n_raw);
-  const auto param = static_cast<uint32_t>(flags.GetInt("param", 5));
+  const auto param = flags.GetUInt32("param", 5);
   const size_t queries =
-      static_cast<size_t>(flags.GetInt("queries", 2000000));
-  const int runs = static_cast<int>(flags.GetInt("runs", 3));
-  const int lanes = static_cast<int>(flags.GetInt("lanes", 8));
+      flags.GetSize("queries", 2000000);
+  const int runs = flags.GetInt32("runs", 3);
+  const int lanes = flags.GetInt32("lanes", 8);
   const auto linear_cutoff =
-      static_cast<uint32_t>(flags.GetInt("linear-cutoff", 0));
+      flags.GetUInt32("linear-cutoff", 0);
   const double check_speedup = flags.GetDouble("check-speedup", 0.0);
   const double check_walk = flags.GetDouble("check-walk-speedup", 0.0);
   const double check_batched = flags.GetDouble("check-batched-speedup", 0.0);
@@ -262,8 +262,8 @@ int main(int argc, char** argv) {
   double srw3_speedup = 0.0;
   double srw4_speedup = 0.0;
   for (const int d : {3, 4}) {
-    const auto steps = static_cast<size_t>(flags.GetInt(
-        "srw" + std::to_string(d) + "-steps", d == 3 ? 2000 : 200));
+    const auto steps = flags.GetSize(
+        "srw" + std::to_string(d) + "-steps", d == 3 ? 2000 : 200);
     // Record one trajectory with the real walk (fixed seed), then replay
     // the enumeration — identical work for all three implementations.
     std::vector<VertexId> trajectory;
@@ -328,8 +328,8 @@ int main(int argc, char** argv) {
   double srw3_batched_speedup = 0.0;
   double srw4_batched_speedup = 0.0;
   for (const int d : {3, 4}) {
-    const auto steps = static_cast<size_t>(flags.GetInt(
-        "srw" + std::to_string(d) + "-steps", d == 3 ? 2000 : 200));
+    const auto steps = flags.GetSize(
+        "srw" + std::to_string(d) + "-steps", d == 3 ? 2000 : 200);
     // Both sides do the estimator's per-transition work — StateDegree
     // then Step — on the indexed graph, re-seeded identically per run.
     const double scalar_s = BestOfSeconds(runs, [&] {

@@ -86,18 +86,18 @@ int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
   const std::vector<int> client_counts =
       ParseClientList(flags.GetString("clients", "1,2,4,8"));
-  const int requests = static_cast<int>(flags.GetInt("requests", 16));
+  const int requests = flags.GetInt32("requests", 16);
   const int64_t steps = flags.GetInt("steps", 20000);
-  const int k = static_cast<int>(flags.GetInt("k", 4));
-  const int chains = static_cast<int>(flags.GetInt("chains", 2));
+  const int k = flags.GetInt32("k", 4);
+  const int chains = flags.GetInt32("chains", 2);
   const bool check_identical = flags.GetBool("check-identical");
 
   // Fixture graph, registered in memory — the bench measures the serve
   // layer, not snapshot loading (bench_loader covers that).
   grw::Rng rng(7);
   grw::Graph fixture =
-      grw::HolmeKim(static_cast<grw::VertexId>(flags.GetInt("n", 5000)),
-                    static_cast<uint32_t>(flags.GetInt("param", 4)), 0.5,
+      grw::HolmeKim(flags.GetUInt32("n", 5000),
+                    flags.GetUInt32("param", 4), 0.5,
                     rng);
   fixture.BuildAdjacencyIndex();
   const std::string context = "holme-kim fixture: " + fixture.Summary() +
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   grw::serve::ServerOptions server_options;
   server_options.port = 0;
   server_options.scheduler.workers =
-      static_cast<int>(flags.GetInt("workers", 4));
+      flags.GetInt32("workers", 4);
   grw::serve::ServeServer server(&registry, server_options);
   server.Start();
 
@@ -155,7 +155,9 @@ int main(int argc, char** argv) {
   for (const int clients : client_counts) {
     std::vector<std::vector<double>> latencies(
         static_cast<size_t>(clients));
-    std::vector<bool> client_ok(static_cast<size_t>(clients), true);
+    // uint8_t, not bool: vector<bool> packs bits, so concurrent writes
+    // from different client threads would race on the shared bytes.
+    std::vector<uint8_t> client_ok(static_cast<size_t>(clients), 1);
     std::vector<std::thread> threads;
     grw::WallTimer sweep;
     for (int c = 0; c < clients; ++c) {
@@ -175,19 +177,19 @@ int main(int argc, char** argv) {
                 json ? json->Find("concentrations") : nullptr;
             if (ok == nullptr || !ok->IsTrue() || conc == nullptr ||
                 conc->items.size() != expected.size()) {
-              client_ok[static_cast<size_t>(c)] = false;
+              client_ok[static_cast<size_t>(c)] = 0;
               continue;
             }
             for (size_t i = 0; i < expected.size(); ++i) {
               if (conc->items[i].raw != expected[i]) {
-                client_ok[static_cast<size_t>(c)] = false;
+                client_ok[static_cast<size_t>(c)] = 0;
               }
             }
           }
         } catch (const std::exception& e) {
           std::fprintf(stderr, "[bench] client %d failed: %s\n", c,
                        e.what());
-          client_ok[static_cast<size_t>(c)] = false;
+          client_ok[static_cast<size_t>(c)] = 0;
         }
       });
     }
@@ -199,7 +201,7 @@ int main(int argc, char** argv) {
       all.insert(all.end(), per_client.begin(), per_client.end());
     }
     for (int c = 0; c < clients; ++c) {
-      if (!client_ok[static_cast<size_t>(c)]) identical = false;
+      if (client_ok[static_cast<size_t>(c)] == 0) identical = false;
     }
     const double qps =
         seconds > 0.0 ? static_cast<double>(all.size()) / seconds : 0.0;

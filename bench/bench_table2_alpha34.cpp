@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/alpha.h"
 #include "core/paper_ids.h"
 #include "graphlet/catalog.h"
@@ -57,5 +58,11 @@ int main(int argc, char** argv) {
   if (!csv.empty() && table.WriteCsv(csv)) {
     std::printf("csv written to %s\n", csv.c_str());
   }
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(table, &metrics);
+  metrics.push_back({"mismatches", static_cast<double>(mismatches), "cells"});
+  grw::bench::MaybeWriteJson(flags, "bench_table2_alpha34",
+                             "alpha coefficients vs published Table 2",
+                             metrics);
   return mismatches == 0 ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/alpha.h"
 #include "core/paper_ids.h"
 #include "graphlet/catalog.h"
@@ -62,5 +63,13 @@ int main(int argc, char** argv) {
   if (!csv.empty() && table.WriteCsv(csv)) {
     std::printf("csv written to %s\n", csv.c_str());
   }
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(table, &metrics);
+  metrics.push_back(
+      {"mismatch_srw123", static_cast<double>(mismatch_123), "cells"});
+  metrics.push_back({"errata_srw4", static_cast<double>(errata_4), "cells"});
+  grw::bench::MaybeWriteJson(flags, "bench_table3_alpha5",
+                             "alpha coefficients vs published Table 3",
+                             metrics);
   return mismatch_123 == 0 ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_common.h"
 #include "core/css.h"
 #include "core/paper_ids.h"
 #include "graph/generators.h"
@@ -66,7 +67,9 @@ int main(int argc, char** argv) {
   table.Print();
 
   // Numeric spot-checks of the published closed forms on K5: every node
-  // degree is 4, every G(2) state degree is 6.
+  // degree is 4, every G(2) state degree is 6. The table itself is
+  // symbolic, so the JSON mirror carries the spot-check values instead.
+  std::vector<grw::bench::JsonMetric> metrics;
   const grw::Graph k5 = grw::Complete(5);
   {
     // g32 = triangle, SRW1: published 2|R| p / 2 = 1/d1 + 1/d2 + 1/d3.
@@ -78,6 +81,8 @@ int main(int argc, char** argv) {
     const bool ok = std::abs(got - want) < 1e-9;
     std::printf("check triangle/SRW1 on K5: %.6f (closed form %.6f) %s\n",
                 got, want, ok ? "OK" : "MISMATCH");
+    metrics.push_back({"triangle_srw1_k5", got, "p"});
+    metrics.push_back({"triangle_srw1_k5_expected", want, "p"});
     if (!ok) return 1;
   }
   {
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
     const bool ok = std::abs(got - want) < 1e-9;
     std::printf("check 4-clique/SRW2 on K5: %.6f (closed form %.6f) %s\n",
                 got, want, ok ? "OK" : "MISMATCH");
+    metrics.push_back({"clique4_srw2_k5", got, "p"});
+    metrics.push_back({"clique4_srw2_k5_expected", want, "p"});
     if (!ok) return 1;
   }
 
@@ -100,5 +107,8 @@ int main(int argc, char** argv) {
   if (!csv.empty() && table.WriteCsv(csv)) {
     std::printf("csv written to %s\n", csv.c_str());
   }
+  grw::bench::MaybeWriteJson(flags, "bench_table4_css",
+                             "compiled CSS probabilities, spot-checked on K5",
+                             metrics);
   return 0;
 }

@@ -48,5 +48,10 @@ int main(int argc, char** argv) {
   }
   table.Print();
   grw::bench::MaybeWriteCsv(flags, table);
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(table, &metrics);
+  grw::bench::MaybeWriteJson(flags, "bench_table5_datasets",
+                             "dataset inventory with exact concentrations",
+                             metrics);
   return 0;
 }

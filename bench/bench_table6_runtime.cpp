@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   const bool skip_exact = flags.GetBool("skip-exact");
   const auto graphs =
       grw::bench::LoadBenchGraphs(flags, grw::DatasetTier::kSmall);
@@ -32,8 +32,12 @@ int main(int argc, char** argv) {
   table.SetHeader(
       {"Graph", "SRW2", "SRW2CSS", "SRW3", "SRW4", "Exact (ESU)"});
 
+  std::vector<grw::bench::JsonMetric> metrics;
+  const std::vector<std::string> method_names = {"srw2", "srw2css", "srw3",
+                                                 "srw4"};
   for (const auto& bg : graphs) {
     std::vector<std::string> row = {bg.name};
+    size_t method_idx = 0;
     for (const auto& method : methods) {
       // Median-ish of 3 runs for the fast methods, 1 run for slow ones.
       const int reps = method.d <= 2 ? 3 : 1;
@@ -46,6 +50,9 @@ int main(int argc, char** argv) {
         best = std::min(best, timer.Seconds());
       }
       row.push_back(grw::Table::Duration(best));
+      metrics.push_back({grw::bench::MetricNameFragment(bg.name) + "_" +
+                             method_names[method_idx++] + "_s",
+                         best, "s"});
     }
     if (skip_exact) {
       row.push_back("(skipped)");
@@ -53,11 +60,16 @@ int main(int argc, char** argv) {
       grw::WallTimer timer;
       const auto counts = grw::CountGraphletsEsu(bg.graph, 5);
       (void)counts;
-      row.push_back(grw::Table::Duration(timer.Seconds()));
+      const double exact_seconds = timer.Seconds();
+      row.push_back(grw::Table::Duration(exact_seconds));
+      metrics.push_back({grw::bench::MetricNameFragment(bg.name) + "_exact_s",
+                         exact_seconds, "s"});
     }
     table.AddRow(row);
   }
   table.Print();
   grw::bench::MaybeWriteCsv(flags, table);
+  grw::bench::MaybeWriteJson(flags, "bench_table6_runtime",
+                             "steps=" + std::to_string(steps), metrics);
   return 0;
 }

@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   const int sims = grw::bench::SimCount(flags, 30, 100);  // paper: 100
   const double scale = flags.GetDouble("scale", 1.0);
 
@@ -43,9 +43,12 @@ int main(int argc, char** argv) {
                    std::to_string(steps) + ")");
   table.SetHeader({"Graph", "SRW2CSS", "PSRW", "Exact"});
 
+  std::vector<grw::bench::JsonMetric> metrics;
+  const std::vector<std::string> method_names = {"srw2css", "psrw"};
   // Per-method chains for each graph.
   for (size_t target = 1; target < names.size(); ++target) {
     std::vector<std::string> row = {names[target]};
+    size_t method_idx = 0;
     for (const auto& method : methods) {
       const auto chains_a = grw::RunConcentrationChains(
           graphs[0], method, steps, sims, 0x7a + target);
@@ -58,12 +61,23 @@ int main(int argc, char** argv) {
       }
       row.push_back(grw::Table::Num(grw::Mean(sim_values), 4) + " ± " +
                     grw::Table::Num(grw::SampleStddev(sim_values), 4));
+      metrics.push_back({grw::bench::MetricNameFragment(names[target]) + "_" +
+                             method_names[method_idx++],
+                         grw::Mean(sim_values), "similarity"});
     }
-    row.push_back(grw::Table::Num(
-        grw::GraphletKernelSimilarity(exact[0], exact[target]), 4));
+    const double exact_sim =
+        grw::GraphletKernelSimilarity(exact[0], exact[target]);
+    row.push_back(grw::Table::Num(exact_sim, 4));
+    metrics.push_back({grw::bench::MetricNameFragment(names[target]) +
+                           "_exact",
+                       exact_sim, "similarity"});
     table.AddRow(row);
   }
   table.Print();
   grw::bench::MaybeWriteCsv(flags, table);
+  grw::bench::MaybeWriteJson(flags, "bench_table7_similarity",
+                             "steps=" + std::to_string(steps) +
+                                 ", sims=" + std::to_string(sims),
+                             metrics);
   return 0;
 }

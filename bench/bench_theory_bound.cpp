@@ -22,7 +22,7 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   const int sims = grw::bench::SimCount(flags, 100, 1000);
   const std::string dataset = flags.GetString("dataset", "brightkite-sim");
   const double scale = flags.GetDouble("scale", 0.5);  // spectral gap: O(n^2)
@@ -77,5 +77,15 @@ int main(int argc, char** argv) {
   std::printf("difficulty-ordering agreement: %d/%d pairs\n", agreements,
               comparisons);
   grw::bench::MaybeWriteCsv(flags, table);
+  std::vector<grw::bench::JsonMetric> metrics;
+  grw::bench::AppendTableMetrics(table, &metrics);
+  metrics.push_back(
+      {"ordering_agreement", static_cast<double>(agreements), "pairs"});
+  metrics.push_back(
+      {"ordering_comparisons", static_cast<double>(comparisons), "pairs"});
+  grw::bench::MaybeWriteJson(flags, "bench_theory_bound",
+                             dataset + ", steps=" + std::to_string(steps) +
+                                 ", sims=" + std::to_string(sims),
+                             metrics);
   return 0;
 }

@@ -38,7 +38,7 @@ std::vector<double> EstimateSignature(const grw::Graph& g, uint64_t steps,
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t steps = flags.GetInt("steps", 50000);
+  const uint64_t steps = flags.GetUInt64("steps", 50000);
 
   // Reference networks with known character.
   const std::vector<std::pair<std::string, std::string>> references = {

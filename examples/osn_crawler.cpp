@@ -37,7 +37,7 @@ double ClusteringFromConcentration(double c32) {
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const uint64_t api_budget = flags.GetInt("budget", 60000);
+  const uint64_t api_budget = flags.GetUInt64("budget", 60000);
 
   grw::Graph graph;
   const std::string path = flags.GetString("graph", "");

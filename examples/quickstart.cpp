@@ -22,9 +22,9 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const int k = static_cast<int>(flags.GetInt("k", 4));
-  const int d = static_cast<int>(flags.GetInt("d", 2));
-  const uint64_t steps = flags.GetInt("steps", 200000);
+  const int k = flags.GetInt32("k", 4);
+  const int d = flags.GetInt32("d", 2);
+  const uint64_t steps = flags.GetUInt64("steps", 200000);
 
   // 1. Load or synthesize a graph (simple, connected).
   grw::Graph graph;

@@ -24,8 +24,8 @@
 
 int main(int argc, char** argv) {
   const grw::Flags flags(argc, argv);
-  const int k = static_cast<int>(flags.GetInt("k", 4));
-  const uint64_t steps = flags.GetInt("steps", 20000);
+  const int k = flags.GetInt32("k", 4);
+  const uint64_t steps = flags.GetUInt64("steps", 20000);
   if (k != 4 && k != 5) {
     std::fprintf(stderr, "--k must be 4 or 5\n");
     return 1;

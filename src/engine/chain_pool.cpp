@@ -14,10 +14,10 @@ ChainPool::ChainPool(unsigned threads) {
 
 ChainPool::~ChainPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -57,7 +57,7 @@ void ChainPool::DrainIndices(void (*invoke)(void*, size_t), void* ctx,
     try {
       invoke(ctx, i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_exception_) first_exception_ = std::current_exception();
       // Keep claiming: remaining indices must be consumed so the job ends.
     }
@@ -72,8 +72,10 @@ void ChainPool::WorkerLoop() {
     size_t n = 0;
     bool participate = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] { return shutdown_ || job_id_ > seen; });
+      MutexLock lock(mu_);
+      // Explicit wait loop: the analysis checks shutdown_/job_id_ against
+      // mu_ here, which a predicate lambda would hide from it.
+      while (!shutdown_ && job_id_ <= seen) job_cv_.Wait(mu_);
       if (shutdown_) return;
       // The submitter waits for every worker before posting the next job,
       // so jobs are observed strictly in order and these fields are stable
@@ -89,8 +91,8 @@ void ChainPool::WorkerLoop() {
     }
     if (participate) DrainIndices(invoke, ctx, n);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (++finished_workers_ == workers_.size()) done_cv_.notify_one();
+      MutexLock lock(mu_);
+      if (++finished_workers_ == workers_.size()) done_cv_.NotifyOne();
     }
   }
 }
@@ -105,7 +107,7 @@ void ChainPool::RunJob(size_t n, void (*invoke)(void*, size_t), void* ctx,
     for (size_t i = 0; i < n; ++i) invoke(ctx, i);
     return;
   }
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(submit_mu_);
   if (max_threads == 0) max_threads = NumThreads();
   if (workers_.empty() || max_threads <= 1 || n == 1) {
     // Serial fallback still holds submit_mu_, so mark this thread as
@@ -116,7 +118,7 @@ void ChainPool::RunJob(size_t n, void (*invoke)(void*, size_t), void* ctx,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_invoke_ = invoke;
     job_ctx_ = ctx;
     job_n_ = n;
@@ -126,12 +128,12 @@ void ChainPool::RunJob(size_t n, void (*invoke)(void*, size_t), void* ctx,
     next_index_.store(0, std::memory_order_relaxed);
     ++job_id_;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   DrainIndices(invoke, ctx, n);
   std::exception_ptr rethrow;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return finished_workers_ == workers_.size(); });
+    MutexLock lock(mu_);
+    while (finished_workers_ != workers_.size()) done_cv_.Wait(mu_);
     rethrow = first_exception_;
     first_exception_ = nullptr;
   }

@@ -16,14 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace grw {
 
@@ -71,26 +71,31 @@ class ChainPool {
 
  private:
   void RunJob(size_t n, void (*invoke)(void*, size_t), void* ctx,
-              unsigned max_threads);
-  void WorkerLoop();
+              unsigned max_threads) GRW_EXCLUDES(submit_mu_, mu_);
+  void WorkerLoop() GRW_EXCLUDES(mu_);
   // Claims indices until exhausted; records the first exception.
-  void DrainIndices(void (*invoke)(void*, size_t), void* ctx, size_t n);
+  void DrainIndices(void (*invoke)(void*, size_t), void* ctx, size_t n)
+      GRW_EXCLUDES(mu_);
 
+  // Immutable after the constructor: read by WorkerLoop (its own size)
+  // and joined in the destructor without a lock.
   std::vector<std::thread> workers_;
 
-  std::mutex submit_mu_;  // serializes whole jobs
+  Mutex submit_mu_ GRW_ACQUIRED_BEFORE(mu_);  // serializes whole jobs
 
-  std::mutex mu_;  // guards everything below
-  std::condition_variable job_cv_;   // workers wait here for the next job
-  std::condition_variable done_cv_;  // the submitter waits here
-  uint64_t job_id_ = 0;
-  size_t job_n_ = 0;
-  void (*job_invoke_)(void*, size_t) = nullptr;
-  void* job_ctx_ = nullptr;
-  unsigned job_slots_ = 0;  // workers still allowed to join the job
-  size_t finished_workers_ = 0;
-  std::exception_ptr first_exception_;
-  bool shutdown_ = false;
+  Mutex mu_;           // guards the job slot below
+  CondVar job_cv_;   // workers wait here for the next job
+  CondVar done_cv_;  // the submitter waits here
+  using JobFn = void (*)(void*, size_t);
+  uint64_t job_id_ GRW_GUARDED_BY(mu_) = 0;
+  size_t job_n_ GRW_GUARDED_BY(mu_) = 0;
+  JobFn job_invoke_ GRW_GUARDED_BY(mu_) = nullptr;
+  void* job_ctx_ GRW_GUARDED_BY(mu_) = nullptr;
+  // Workers still allowed to join the job.
+  unsigned job_slots_ GRW_GUARDED_BY(mu_) = 0;
+  size_t finished_workers_ GRW_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_exception_ GRW_GUARDED_BY(mu_);
+  bool shutdown_ GRW_GUARDED_BY(mu_) = false;
 
   std::atomic<size_t> next_index_{0};
 };

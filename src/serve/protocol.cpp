@@ -96,8 +96,11 @@ struct EstimateFields {
       if (*v < 0.0) return "field target_nrmse: must be >= 0";
       req.target_nrmse = *v;
     } else if (key == "seed") {
+      // Non-negative: a negative seed used to wrap to a huge uint64,
+      // silently desynchronizing "same seed" reproductions across tools.
       const std::optional<int64_t> v = ParseInt64(value);
       if (!v.has_value()) return bad("integer");
+      if (*v < 0) return "field seed: must be >= 0";
       req.seed = static_cast<uint64_t>(*v);
     } else if (key == "chains") {
       if (!get_int(1, limits.max_chains, n, err)) return err;

@@ -4,6 +4,12 @@
 
 namespace grw::serve {
 
+const Graph* SnapshotRegistry::FindResidentLocked(
+    const std::string& content_key) const {
+  auto it = by_content_.find(content_key);
+  return it != by_content_.end() ? &it->second : nullptr;
+}
+
 void SnapshotRegistry::Register(const std::string& id,
                                 const std::string& path, bool build_index) {
   Entry entry;
@@ -18,11 +24,10 @@ void SnapshotRegistry::Register(const std::string& id,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!content_key.empty()) {
-      auto it = by_content_.find(content_key);
-      if (it != by_content_.end()) {
-        entry.graph = it->second;  // shares mapping + warm index
+      if (const Graph* resident = FindResidentLocked(content_key)) {
+        entry.graph = *resident;  // shares mapping + warm index
         entries_[id] = std::move(entry);
         return;
       }
@@ -30,12 +35,15 @@ void SnapshotRegistry::Register(const std::string& id,
   }
 
   // Load outside the lock: mmap is fast but text parsing is not, and a
-  // slow registration must not block lookups.
+  // slow registration must not block lookups. Two threads racing to
+  // register the same content both load; the second insert below merely
+  // replaces an identical resident graph — wasted work, never a wrong
+  // answer.
   Graph g = LoadGraph(path);
   if (build_index) g.BuildAdjacencyIndex();
   entry.graph = std::move(g);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!content_key.empty()) by_content_[content_key] = entry.graph;
   entries_[id] = std::move(entry);
 }
@@ -45,19 +53,19 @@ void SnapshotRegistry::RegisterGraph(const std::string& id, Graph graph,
   Entry entry;
   entry.path = label;
   entry.graph = std::move(graph);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[id] = std::move(entry);
 }
 
 std::optional<Graph> SnapshotRegistry::Find(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return std::nullopt;
   return it->second.graph;
 }
 
 std::vector<GraphListEntry> SnapshotRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<GraphListEntry> out;
   out.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) {
@@ -73,7 +81,7 @@ std::vector<GraphListEntry> SnapshotRegistry::List() const {
 }
 
 size_t SnapshotRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -23,13 +23,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "serve/protocol.h"
+#include "util/sync.h"
 
 namespace grw::serve {
 
@@ -43,20 +43,21 @@ class SnapshotRegistry {
   /// checksum 0, never shared by key). Builds the AdjacencyIndex unless
   /// `build_index` is false. Throws std::runtime_error on load failure.
   void Register(const std::string& id, const std::string& path,
-                bool build_index = true);
+                bool build_index = true) GRW_EXCLUDES(mu_);
 
   /// Registers an in-memory graph (tests, the bench load generator).
   void RegisterGraph(const std::string& id, Graph graph,
-                     const std::string& label = "<memory>");
+                     const std::string& label = "<memory>")
+      GRW_EXCLUDES(mu_);
 
   /// The graph bound to `id`, as a cheap copy sharing backing and index;
   /// nullopt for unknown ids.
-  std::optional<Graph> Find(const std::string& id) const;
+  std::optional<Graph> Find(const std::string& id) const GRW_EXCLUDES(mu_);
 
   /// LIST-able view of every binding, in id order.
-  std::vector<GraphListEntry> List() const;
+  std::vector<GraphListEntry> List() const GRW_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const GRW_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -65,12 +66,23 @@ class SnapshotRegistry {
     Graph graph;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;       // id -> binding
+  /// The resident graph for a (path, checksum) content key, nullptr if
+  /// none. REQUIRES-checked so the register paths — which already hold
+  /// mu_ when they consult residency — cannot re-lock (grw::Mutex is
+  /// non-recursive; a second Lock() would be a self-deadlock, caught at
+  /// compile time by the annotation and at runtime by the owner check).
+  const Graph* FindResidentLocked(const std::string& content_key) const
+      GRW_REQUIRES(mu_);
+
+  // Lock discipline: mu_ guards both maps; it is held only for map
+  // lookups/inserts, never across a snapshot load (Register parses /
+  // mmaps outside the lock so a slow registration cannot block lookups).
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GRW_GUARDED_BY(mu_);  // id -> binding
   // (path + '\0' + checksum) -> resident graph, for cross-id sharing of
   // identical snapshots. Never pruned: entries are one Graph copy each
   // and a daemon registers a bounded set of graphs.
-  std::map<std::string, Graph> by_content_;
+  std::map<std::string, Graph> by_content_ GRW_GUARDED_BY(mu_);
 };
 
 }  // namespace grw::serve

@@ -34,7 +34,7 @@ ServeScheduler::ServeScheduler(const SnapshotRegistry* registry,
 ServeScheduler::~ServeScheduler() { Drain(); }
 
 void ServeScheduler::CountError() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.errors;
 }
 
@@ -67,7 +67,7 @@ std::string ServeScheduler::SubmitEstimate(EstimateRequest request) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) {
       ++stats_.errors;
       return ErrorResponse("server draining, not accepting requests");
@@ -105,10 +105,11 @@ std::string ServeScheduler::SubmitEstimate(EstimateRequest request) {
     ++stats_.accepted;
     queue_.push_back(&job);
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 
-  std::unique_lock<std::mutex> lock(job.mu);
-  job.cv.wait(lock, [&job] { return job.done; });
+  MutexLock lock(job.mu);
+  // Explicit wait loop so the analysis checks job.done against job.mu.
+  while (!job.done) job.cv.Wait(job.mu);
   return std::move(job.response);
 }
 
@@ -116,9 +117,8 @@ void ServeScheduler::WorkerLoop() {
   while (true) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock,
-                     [this] { return draining_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!draining_ && queue_.empty()) queue_cv_.Wait(mu_);
       if (queue_.empty()) return;  // draining and nothing left
       job = queue_.front();
       queue_.pop_front();
@@ -131,6 +131,9 @@ void ServeScheduler::RunJob(Job& job) {
   const EstimateRequest& req = job.request;
   std::string response;
   bool ok = false;
+  // Worker-local until the locked accounting block below: the submitter
+  // never reads it, so it needs no lock and no field on the Job.
+  uint64_t charged_distinct = 0;
 
   try {
     if (job.has_deadline &&
@@ -153,7 +156,7 @@ void ServeScheduler::RunJob(Job& job) {
         }
         EstimationEngine engine(*graph, req.config, options);
         const EngineResult result = engine.Run();
-        job.charged_distinct = result.access.distinct_fetches;
+        charged_distinct = result.access.distinct_fetches;
         if (result.cancelled) {
           response = ErrorResponse(DeadlineError(result.steps_per_chain));
         } else {
@@ -169,7 +172,7 @@ void ServeScheduler::RunJob(Job& job) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ok) {
       ++stats_.completed;
     } else {
@@ -177,29 +180,35 @@ void ServeScheduler::RunJob(Job& job) {
     }
     // Charge real consumption even for cancelled/failed runs: the
     // distinct fetches happened either way.
-    if (job.charged_distinct > 0 && !req.tenant.empty() &&
+    if (charged_distinct > 0 && !req.tenant.empty() &&
         options_.tenant_budget > 0) {
-      tenant_spent_[req.tenant] += job.charged_distinct;
+      tenant_spent_[req.tenant] += charged_distinct;
     }
   }
 
   {
-    std::lock_guard<std::mutex> lock(job.mu);
+    MutexLock lock(job.mu);
     job.response = std::move(response);
     job.done = true;
+    // Notify INSIDE the critical section: the Job lives on the
+    // submitter's stack and is destroyed the moment the submitter
+    // observes done. Signalling after unlocking would race that
+    // destruction (the submitter can be past Wait() the instant the
+    // mutex is released); under the lock, it cannot observe done until
+    // this scope closes.
+    job.cv.NotifyOne();
   }
-  job.cv.notify_one();
 }
 
 void ServeScheduler::Drain() {
   // drain_mu_ serializes concurrent Drain calls (Stop + destructor);
   // only the first joins the workers, later calls find them gone.
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -207,7 +216,7 @@ void ServeScheduler::Drain() {
 }
 
 ServeScheduler::Stats ServeScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

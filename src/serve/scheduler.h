@@ -39,11 +39,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -52,6 +50,7 @@
 #include "engine/chain_pool.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
+#include "util/sync.h"
 
 namespace grw::serve {
 
@@ -99,10 +98,15 @@ class ServeScheduler {
     uint64_t errors = 0;          // error responses of any kind
     uint64_t rejected_queue = 0;  // admission-control rejections
   };
-  Stats stats() const;
+  /// Consistent snapshot of the counters, taken under the queue mutex —
+  /// the drain report and monitoring never read half-updated totals.
+  Stats stats() const GRW_EXCLUDES(mu_);
 
  private:
   struct Job {
+    // Written by the submitter before enqueue, read by the worker that
+    // dequeues it: the queue mutex orders the hand-off, so no lock is
+    // needed on these after admission.
     EstimateRequest request;
     std::chrono::steady_clock::time_point admitted;
     bool has_deadline = false;
@@ -110,29 +114,31 @@ class ServeScheduler {
     uint64_t tenant_cap = 0;  // effective crawl budget, 0 = none
 
     // Completion signalling (the submitting connection thread waits).
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    std::string response;
-    uint64_t charged_distinct = 0;  // tenant accounting, set by worker
+    // `mu` is a leaf in the lock order: nothing else is ever acquired
+    // while it is held.
+    Mutex mu;
+    CondVar cv;
+    bool done GRW_GUARDED_BY(mu) = false;
+    std::string response GRW_GUARDED_BY(mu);
   };
 
-  std::string SubmitEstimate(EstimateRequest request);
-  void RunJob(Job& job);
-  void WorkerLoop();
-  void CountError();
+  std::string SubmitEstimate(EstimateRequest request) GRW_EXCLUDES(mu_);
+  void RunJob(Job& job) GRW_EXCLUDES(mu_);
+  void WorkerLoop() GRW_EXCLUDES(mu_);
+  void CountError() GRW_EXCLUDES(mu_);
 
   const SnapshotRegistry* registry_;
   SchedulerOptions options_;
-  std::vector<std::thread> workers_;
+  // Spawned in the constructor, joined only by Drain (under drain_mu_).
+  std::vector<std::thread> workers_ GRW_GUARDED_BY(drain_mu_);
 
-  std::mutex drain_mu_;  // serializes Drain callers
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Job*> queue_;
-  bool draining_ = false;
-  Stats stats_;
-  std::map<std::string, uint64_t> tenant_spent_;
+  Mutex drain_mu_ GRW_ACQUIRED_BEFORE(mu_);  // serializes Drain callers
+  mutable Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<Job*> queue_ GRW_GUARDED_BY(mu_);
+  bool draining_ GRW_GUARDED_BY(mu_) = false;
+  Stats stats_ GRW_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> tenant_spent_ GRW_GUARDED_BY(mu_);
 };
 
 }  // namespace grw::serve

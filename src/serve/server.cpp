@@ -34,7 +34,10 @@ bool WriteAll(int fd, const std::string& data) {
 
 ServeServer::ServeServer(const SnapshotRegistry* registry,
                          ServerOptions options)
-    : registry_(registry), options_(std::move(options)) {}
+    : registry_(registry),
+      options_(std::move(options)),
+      scheduler_(std::make_unique<ServeScheduler>(registry_,
+                                                  options_.scheduler)) {}
 
 ServeServer::~ServeServer() { Stop(); }
 
@@ -70,8 +73,6 @@ void ServeServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
-  scheduler_ = std::make_unique<ServeScheduler>(registry_,
-                                                options_.scheduler);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
@@ -87,7 +88,7 @@ void ServeServer::AcceptLoop() {
     if (fd < 0) continue;
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     if (stopping_.load()) {
       ::close(fd);
       break;
@@ -122,7 +123,7 @@ void ServeServer::Connection(int fd) {
     }
   }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   conn_fds_.erase(fd);
 }
 
@@ -135,19 +136,22 @@ void ServeServer::Stop() {
       ::shutdown(listen_fd_, SHUT_RDWR);
     }
     if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> to_join;
     {
       // Half-close every connection: their read() returns 0, the threads
-      // finish the request in hand (write side intact) and exit.
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      // finish the request in hand (write side intact) and exit. The
+      // accept thread is joined, so the vector can only shrink — swap it
+      // out under the lock and join outside it (a connection thread's
+      // exit path takes conn_mu_ to erase its fd; joining while holding
+      // the lock would deadlock).
+      MutexLock lock(conn_mu_);
       for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+      to_join.swap(conn_threads_);
     }
-    // conn_threads_ only grows from the accept thread, which is joined:
-    // safe to join without the lock.
-    for (std::thread& t : conn_threads_) {
+    for (std::thread& t : to_join) {
       if (t.joinable()) t.join();
     }
-    conn_threads_.clear();
-    if (scheduler_) scheduler_->Drain();
+    scheduler_->Drain();
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -157,7 +161,7 @@ void ServeServer::Stop() {
 }
 
 ServeScheduler::Stats ServeServer::stats() const {
-  return scheduler_ ? scheduler_->stats() : ServeScheduler::Stats{};
+  return scheduler_->stats();
 }
 
 }  // namespace grw::serve

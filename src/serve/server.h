@@ -20,7 +20,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -28,6 +27,7 @@
 
 #include "serve/registry.h"
 #include "serve/scheduler.h"
+#include "util/sync.h"
 
 namespace grw::serve {
 
@@ -72,11 +72,14 @@ class ServeServer {
   ServeScheduler::Stats stats() const;
 
  private:
-  void AcceptLoop();
-  void Connection(int fd);
+  void AcceptLoop() GRW_EXCLUDES(conn_mu_);
+  void Connection(int fd) GRW_EXCLUDES(conn_mu_);
 
   const SnapshotRegistry* registry_;
   ServerOptions options_;
+  // Constructed with the server (not in Start()), so stats() and
+  // HandleLine paths read an immutable pointer — no lock, no race with a
+  // concurrent Start().
   std::unique_ptr<ServeScheduler> scheduler_;
 
   int listen_fd_ = -1;
@@ -85,9 +88,12 @@ class ServeServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::set<int> conn_fds_;
+  Mutex conn_mu_;
+  // Connection threads, owned by the accept loop until Stop() swaps the
+  // vector out (under conn_mu_) and joins outside the lock — joining
+  // under it would deadlock with a connection thread's exit bookkeeping.
+  std::vector<std::thread> conn_threads_ GRW_GUARDED_BY(conn_mu_);
+  std::set<int> conn_fds_ GRW_GUARDED_BY(conn_mu_);
   std::once_flag stop_once_;
 };
 

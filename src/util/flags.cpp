@@ -97,6 +97,52 @@ int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   return *v;
 }
 
+int64_t Flags::GetIntInRange(const std::string& name, int64_t default_value,
+                             int64_t min, int64_t max) const {
+  const int64_t v = GetInt(name, default_value);
+  if (v < min || v > max) {
+    std::fprintf(stderr,
+                 "flag --%s: value %lld out of range [%lld, %lld]\n",
+                 name.c_str(), static_cast<long long>(v),
+                 static_cast<long long>(min), static_cast<long long>(max));
+    std::exit(2);
+  }
+  return v;
+}
+
+int Flags::GetInt32(const std::string& name, int default_value) const {
+  return static_cast<int>(GetIntInRange(name, default_value, INT32_MIN,
+                                        INT32_MAX));
+}
+
+unsigned Flags::GetUnsigned(const std::string& name,
+                            unsigned default_value) const {
+  return static_cast<unsigned>(
+      GetIntInRange(name, default_value, 0, UINT32_MAX));
+}
+
+uint32_t Flags::GetUInt32(const std::string& name,
+                          uint32_t default_value) const {
+  return static_cast<uint32_t>(
+      GetIntInRange(name, default_value, 0, UINT32_MAX));
+}
+
+uint64_t Flags::GetUInt64(const std::string& name,
+                          uint64_t default_value) const {
+  // The parse is int64, so values above INT64_MAX are unrepresentable on
+  // the command line anyway; the check only needs to reject negatives.
+  if (default_value > static_cast<uint64_t>(INT64_MAX)) {
+    FlagError(name, "uint64 default (exceeds int64 range)",
+              std::to_string(default_value));
+  }
+  return static_cast<uint64_t>(GetIntInRange(
+      name, static_cast<int64_t>(default_value), 0, INT64_MAX));
+}
+
+size_t Flags::GetSize(const std::string& name, size_t default_value) const {
+  return static_cast<size_t>(GetUInt64(name, default_value));
+}
+
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return default_value;

@@ -52,6 +52,21 @@ class Flags {
   /// Strict: a present, non-empty value that is not a valid in-range
   /// integer prints `flag --name: invalid integer '...'` and exits(2).
   int64_t GetInt(const std::string& name, int64_t default_value) const;
+  /// GetInt with a range check: a value outside [min, max] prints
+  /// `flag --name: value ... out of range [min, max]` and exits(2).
+  int64_t GetIntInRange(const std::string& name, int64_t default_value,
+                        int64_t min, int64_t max) const;
+  /// Typed narrowing getters. The narrowing from int64 is *checked* —
+  /// out-of-range values are a diagnostic + exit(2), never a silent
+  /// truncation or sign flip. tools/lint_invariants.py bans the old
+  /// `static_cast<T>(flags.GetInt(...))` pattern in favor of these.
+  int GetInt32(const std::string& name, int default_value) const;
+  unsigned GetUnsigned(const std::string& name, unsigned default_value) const;
+  uint32_t GetUInt32(const std::string& name, uint32_t default_value) const;
+  /// Rejects negative values (the int64 parse keeps "-1 means huge"
+  /// impossible by construction).
+  uint64_t GetUInt64(const std::string& name, uint64_t default_value) const;
+  size_t GetSize(const std::string& name, size_t default_value) const;
   /// Strict like GetInt (`flag --name: invalid number '...'`).
   double GetDouble(const std::string& name, double default_value) const;
   /// Boolean: present without value means true; with a value, the value

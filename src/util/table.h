@@ -40,6 +40,11 @@ class Table {
 
   size_t NumRows() const { return rows_.size(); }
 
+  /// Read access for generic exporters (bench_common.h derives JSON
+  /// metrics from the rendered table without each bench re-listing them).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -156,15 +156,15 @@ int CmdGenerate(const grw::Flags& flags) {
     g = grw::MakeDatasetByName(kind, flags.GetDouble("scale", 1.0));
   } else {
     grw::Rng rng(flags.GetInt("seed", 1));
-    const auto n = static_cast<grw::VertexId>(flags.GetInt("n", 10000));
-    const auto param = static_cast<uint32_t>(flags.GetInt("param", 5));
+    const auto n = flags.GetUInt32("n", 10000);
+    const auto param = flags.GetUInt32("param", 5);
     if (kind == "er") {
       g = grw::ErdosRenyi(n, static_cast<uint64_t>(n) * param / 2, rng);
     } else if (kind == "ba") {
       g = grw::BarabasiAlbert(n, param, rng);
     } else if (kind == "hk") {
       g = grw::HolmeKim(n, param, flags.GetDouble("triad", 0.5), rng,
-                        static_cast<uint32_t>(flags.GetInt("cap", 0)));
+                        flags.GetUInt32("cap", 0));
     } else if (kind == "ws") {
       g = grw::WattsStrogatz(n, param, flags.GetDouble("beta", 0.1), rng);
     } else {
@@ -254,7 +254,7 @@ int CmdExact(const grw::Flags& flags) {
   // ESU classifies every enumerated subgraph with C(k,2) HasEdge probes;
   // the index pays for itself within the first few thousand subgraphs.
   if (!flags.GetBool("no-index")) g.BuildAdjacencyIndex();
-  const int k = static_cast<int>(flags.GetInt("k", 4));
+  const int k = flags.GetInt32("k", 4);
   grw::WallTimer timer;
   const auto counts = grw::ExactGraphletCounts(g, k);
   const auto conc = grw::ConcentrationsFromCounts(counts);
@@ -292,8 +292,8 @@ int CmdEstimate(const grw::Flags& flags) {
     }
   }
   grw::EstimatorConfig config;
-  config.k = static_cast<int>(flags.GetInt("k", 4));
-  config.d = static_cast<int>(flags.GetInt("d", config.k == 3 ? 1 : 2));
+  config.k = flags.GetInt32("k", 4);
+  config.d = flags.GetInt32("d", config.k == 3 ? 1 : 2);
   config.css = flags.GetBool("css", config.d <= 2);
   config.nb = flags.GetBool("nb", config.k == 3);
   const int64_t steps = flags.GetInt("steps", 100000);
@@ -308,7 +308,7 @@ int CmdEstimate(const grw::Flags& flags) {
   // (default: the --steps budget). Validate before any signed value is
   // narrowed into the unsigned engine fields.
   grw::EngineOptions options;
-  options.chains = static_cast<int>(flags.GetInt("chains", 1));
+  options.chains = flags.GetInt32("chains", 1);
   if (options.chains < 1) {
     throw std::runtime_error("--chains must be >= 1");
   }
@@ -317,7 +317,7 @@ int CmdEstimate(const grw::Flags& flags) {
     throw std::runtime_error("--threads must be >= 0");
   }
   options.threads = static_cast<unsigned>(threads);
-  options.base_seed = flags.GetInt("seed", 42);
+  options.base_seed = flags.GetUInt64("seed", 42);
   options.target_nrmse = flags.GetDouble("target-nrmse", 0.0);
   const int64_t max_steps = flags.GetInt("max-steps", steps);
   if (max_steps < 1) {

@@ -63,23 +63,17 @@ int main(int argc, char** argv) {
 
   grw::serve::ServerOptions options;
   options.host = flags.GetString("host", "127.0.0.1");
-  const int64_t port = flags.GetInt("port", 7411);
-  if (port < 0 || port > 65535) {
-    std::fprintf(stderr, "flag --port: out of range [0, 65535]\n");
-    return 2;
-  }
-  options.port = static_cast<int>(port);
-  options.scheduler.workers = static_cast<int>(flags.GetInt("workers", 4));
-  options.scheduler.queue_limit =
-      static_cast<size_t>(flags.GetInt("queue", 64));
-  options.scheduler.engine_threads =
-      static_cast<unsigned>(flags.GetInt("engine-threads", 0));
+  options.port =
+      static_cast<int>(flags.GetIntInRange("port", 7411, 0, 65535));
+  options.scheduler.workers = flags.GetInt32("workers", 4);
+  options.scheduler.queue_limit = flags.GetSize("queue", 64);
+  options.scheduler.engine_threads = flags.GetUnsigned("engine-threads", 0);
   options.scheduler.tenant_budget =
-      static_cast<uint64_t>(flags.GetInt("tenant-budget", 0));
+      flags.GetUInt64("tenant-budget", 0);
   options.scheduler.limits.max_steps =
-      static_cast<uint64_t>(flags.GetInt("max-steps", 50000000));
+      flags.GetUInt64("max-steps", 50000000);
   options.scheduler.limits.max_chains =
-      static_cast<int>(flags.GetInt("max-chains", 256));
+      flags.GetInt32("max-chains", 256);
   const bool build_index = !flags.GetBool("no-index");
 
   grw::serve::SnapshotRegistry registry;
