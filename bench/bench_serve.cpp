@@ -26,9 +26,14 @@
 //
 // Metrics (per client count C): serve_qps_c{C}, serve_p50_ms_c{C},
 // serve_p99_ms_c{C} — the perf-trajectory answer to "what does another
-// concurrent tenant cost?".
+// concurrent tenant cost?" — plus serve_error_rate_c{C} (fraction of
+// requests whose final answer was an error or a transport failure) and
+// serve_retries_c{C} (RETRY_AFTER load sheds absorbed by resending on
+// the same connection). In a clean run both are 0; chaos builds with
+// GRW_FAULT_SPEC set make them visible in the perf trajectory.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -40,6 +45,7 @@
 #include "graph/generators.h"
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "util/flags.h"
@@ -78,6 +84,21 @@ double Percentile(std::vector<double> v, double p) {
   const size_t idx = std::min(
       v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
   return v[idx];
+}
+
+// Load-shed probe: a RETRY_AFTER response means the server answered but
+// declined the work — the stream is healthy, so the bench resends on the
+// same connection after the suggested wait. Returns that wait in
+// milliseconds, or a negative value for any other response.
+double ShedHintMs(const std::string& response) {
+  const auto json = grw::serve::ParseJson(response);
+  if (!json) return -1.0;
+  const grw::serve::JsonValue* code = json->Find("code");
+  if (code == nullptr || code->str != grw::serve::kErrorCodeRetryAfter) {
+    return -1.0;
+  }
+  const grw::serve::JsonValue* hint = json->Find("retry_after_ms");
+  return (hint != nullptr && hint->number >= 0.0) ? hint->number : 0.0;
 }
 
 }  // namespace
@@ -148,7 +169,8 @@ int main(int argc, char** argv) {
 
   grw::Table table("serve throughput and tail latency (" +
                    std::to_string(requests) + " requests/client)");
-  table.SetHeader({"clients", "QPS", "p50 ms", "p99 ms"});
+  table.SetHeader({"clients", "QPS", "p50 ms", "p99 ms", "errors",
+                   "retries"});
   std::vector<grw::bench::JsonMetric> metrics;
   bool identical = true;
 
@@ -157,39 +179,58 @@ int main(int argc, char** argv) {
         static_cast<size_t>(clients));
     // uint8_t, not bool: vector<bool> packs bits, so concurrent writes
     // from different client threads would race on the shared bytes.
+    // Errors/retries are per-client slots for the same reason.
     std::vector<uint8_t> client_ok(static_cast<size_t>(clients), 1);
+    std::vector<uint64_t> client_errors(static_cast<size_t>(clients), 0);
+    std::vector<uint64_t> client_retries(static_cast<size_t>(clients), 0);
     std::vector<std::thread> threads;
     grw::WallTimer sweep;
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
+        const auto slot = static_cast<size_t>(c);
         try {
           grw::serve::QueryClient client("127.0.0.1", server.port());
           for (int r = 0; r < requests; ++r) {
             grw::WallTimer timer;
-            const std::string response = client.RoundTrip(request_line);
-            latencies[static_cast<size_t>(c)].push_back(timer.Seconds() *
-                                                        1e3);
-            if (!check_identical) continue;
+            std::string response = client.RoundTrip(request_line);
+            // Absorb load sheds by resending on the same connection —
+            // the retry wait counts toward this request's latency, which
+            // is what a tenant actually experiences under overload.
+            for (int shed = 0; shed < 8; ++shed) {
+              const double hint_ms = ShedHintMs(response);
+              if (hint_ms < 0.0) break;
+              ++client_retries[slot];
+              std::this_thread::sleep_for(std::chrono::microseconds(
+                  static_cast<int64_t>(hint_ms * 1000.0)));
+              response = client.RoundTrip(request_line);
+            }
+            latencies[slot].push_back(timer.Seconds() * 1e3);
             const auto json = grw::serve::ParseJson(response);
             const grw::serve::JsonValue* ok =
                 json ? json->Find("ok") : nullptr;
+            if (ok == nullptr || !ok->IsTrue()) {
+              ++client_errors[slot];
+              if (check_identical) client_ok[slot] = 0;
+              continue;
+            }
+            if (!check_identical) continue;
             const grw::serve::JsonValue* conc =
-                json ? json->Find("concentrations") : nullptr;
-            if (ok == nullptr || !ok->IsTrue() || conc == nullptr ||
-                conc->items.size() != expected.size()) {
-              client_ok[static_cast<size_t>(c)] = 0;
+                json->Find("concentrations");
+            if (conc == nullptr || conc->items.size() != expected.size()) {
+              client_ok[slot] = 0;
               continue;
             }
             for (size_t i = 0; i < expected.size(); ++i) {
               if (conc->items[i].raw != expected[i]) {
-                client_ok[static_cast<size_t>(c)] = 0;
+                client_ok[slot] = 0;
               }
             }
           }
         } catch (const std::exception& e) {
           std::fprintf(stderr, "[bench] client %d failed: %s\n", c,
                        e.what());
-          client_ok[static_cast<size_t>(c)] = 0;
+          ++client_errors[slot];
+          client_ok[slot] = 0;
         }
       });
     }
@@ -200,19 +241,33 @@ int main(int argc, char** argv) {
     for (const auto& per_client : latencies) {
       all.insert(all.end(), per_client.begin(), per_client.end());
     }
+    uint64_t errors = 0;
+    uint64_t retries = 0;
     for (int c = 0; c < clients; ++c) {
       if (client_ok[static_cast<size_t>(c)] == 0) identical = false;
+      errors += client_errors[static_cast<size_t>(c)];
+      retries += client_retries[static_cast<size_t>(c)];
     }
+    const uint64_t total =
+        static_cast<uint64_t>(clients) * static_cast<uint64_t>(requests);
+    const double error_rate =
+        total > 0 ? static_cast<double>(errors) / static_cast<double>(total)
+                  : 0.0;
     const double qps =
         seconds > 0.0 ? static_cast<double>(all.size()) / seconds : 0.0;
     const double p50 = Percentile(all, 0.50);
     const double p99 = Percentile(all, 0.99);
     table.AddRow({grw::Table::Int(clients), grw::Table::Num(qps, 1),
-                  grw::Table::Num(p50, 2), grw::Table::Num(p99, 2)});
+                  grw::Table::Num(p50, 2), grw::Table::Num(p99, 2),
+                  grw::Table::Int(static_cast<int64_t>(errors)),
+                  grw::Table::Int(static_cast<int64_t>(retries))});
     const std::string suffix = "_c" + std::to_string(clients);
     metrics.push_back({"serve_qps" + suffix, qps, "req/s"});
     metrics.push_back({"serve_p50_ms" + suffix, p50, "ms"});
     metrics.push_back({"serve_p99_ms" + suffix, p99, "ms"});
+    metrics.push_back({"serve_error_rate" + suffix, error_rate, "fraction"});
+    metrics.push_back(
+        {"serve_retries" + suffix, static_cast<double>(retries), "count"});
   }
   table.Print();
 

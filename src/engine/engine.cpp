@@ -430,6 +430,17 @@ EngineResult EstimationEngine::Run() {
     CrawlAccess::Options access_options;
     access_options.cache_entries = crawl.cache_entries;
     access_options.latency_us = crawl.latency_us;
+    if (crawl.fail_prob > 0.0) {
+      access_options.failure.fail_prob = crawl.fail_prob;
+      access_options.failure.max_retries = crawl.fail_max_retries;
+      access_options.failure.backoff_base_us = crawl.fail_backoff_us;
+      access_options.failure.backoff_max_us = crawl.fail_backoff_max_us;
+      // Global chain index, like the budget share below: the failure
+      // schedule is a property of the chain, not of the thread or the
+      // batch unit it lands in.
+      access_options.failure.seed =
+          DeriveSeed(crawl.fail_seed, static_cast<uint64_t>(c));
+    }
     if (crawl.budget_queries > 0) {
       // Fixed share of the total budget (B >= chains was validated, so
       // every share is positive). A chain stops after the step that

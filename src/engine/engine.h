@@ -107,6 +107,18 @@ struct EngineOptions {
     /// Simulated API latency per fetch, microseconds (accumulated in
     /// stats, never slept).
     double latency_us = 0.0;
+    /// Transient-fetch-failure model (CrawlAccess::Options::FailureModel):
+    /// per-attempt failure probability, bounded retries with exponential
+    /// backoff + jitter. Cost-only — estimates stay bit-identical; the
+    /// retries / giveups / backoff totals land in EngineResult::access.
+    /// Each chain gets a private failure RNG seeded
+    /// DeriveSeed(fail_seed, global chain index): deterministic at any
+    /// thread count, and the walk RNG stream is never consumed.
+    double fail_prob = 0.0;
+    int fail_max_retries = 4;
+    double fail_backoff_us = 1000.0;
+    double fail_backoff_max_us = 1e6;
+    uint64_t fail_seed = 0x6661696c5eedULL;  // "fail" seed
   };
   CrawlConfig crawl;
 

@@ -1,9 +1,13 @@
 #include "graph/access.h"
 
+#include <cmath>
+
+#include "util/fault.h"
+
 namespace grw {
 
 CrawlAccess::CrawlAccess(const Graph& g, const Options& options)
-    : g_(&g), opt_(options) {
+    : g_(&g), opt_(options), fail_rng_(options.failure.seed) {
   const uint64_t n = g.NumNodes();
   // 0 or oversize means "never evict": every node's list fits.
   capacity_ = static_cast<uint32_t>(
@@ -32,6 +36,44 @@ void CrawlAccess::ResetCache() {
   head_ = tail_ = kNoSlot;
   used_ = 0;
   stats_ = CrawlStats{};
+  // A fresh crawler replays the same failure schedule: determinism per
+  // (seed, fetch ordinal), independent of what ran before the reset.
+  fail_rng_.Seed(opt_.failure.seed);
+}
+
+void CrawlAccess::SimulateTransientFailures() const {
+  const Options::FailureModel& f = opt_.failure;
+  // Each attempt fails independently with fail_prob; the loop models
+  //   attempt -> fail -> wait(backoff) -> attempt -> ...
+  // until an attempt succeeds or the retry budget is spent.
+  int attempt = 0;
+  while (fail_rng_.Bernoulli(f.fail_prob)) {
+    ++stats_.transient_failures;
+    if (attempt >= f.max_retries) {
+      ++stats_.giveups;
+      // Past the fast-path budget the crawler escalates to its slow
+      // reliable path; model that as one maximal wait. Data still
+      // arrives — the failure model never alters what Fetch returns.
+      stats_.backoff_latency_us += f.backoff_max_us;
+      break;
+    }
+    double wait = f.backoff_base_us * std::ldexp(1.0, attempt);
+    if (wait > f.backoff_max_us) wait = f.backoff_max_us;
+    wait += wait * f.jitter * fail_rng_.UniformReal();
+    stats_.backoff_latency_us += wait;
+    ++stats_.retries;
+    ++attempt;
+  }
+}
+
+void CrawlAccess::RecordInjectedFailure() const {
+  // A chaos-injected transient failure (GRW_FAULT "crawl.fetch"): one
+  // failed attempt, answered by one retry that succeeds. Reachable even
+  // with the probability model off, so chaos runs cover the crawl layer
+  // regardless of request options.
+  ++stats_.transient_failures;
+  ++stats_.retries;
+  stats_.backoff_latency_us += opt_.failure.backoff_base_us;
 }
 
 }  // namespace grw

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace grw {
@@ -73,6 +74,18 @@ struct CrawlStats {
   uint64_t evictions = 0;
   /// Accumulated simulated API latency (latency_us per fetch).
   double simulated_latency_us = 0.0;
+  /// Fetch attempts that failed transiently under the failure model
+  /// (rate limits, 5xx, flaky transport — each failed attempt counts).
+  uint64_t transient_failures = 0;
+  /// Failed attempts answered by retrying (<= transient_failures).
+  uint64_t retries = 0;
+  /// Fetches whose bounded retry budget ran out; the crawler escalates
+  /// to its slow reliable path (cost charged to backoff_latency_us), so
+  /// the data still arrives and estimates are unaffected.
+  uint64_t giveups = 0;
+  /// Accumulated simulated retry-backoff wait (exponential + jitter).
+  /// Like simulated_latency_us: virtual, never slept.
+  double backoff_latency_us = 0.0;
 
   /// Fetches repeated because the LRU evicted the node in between.
   uint64_t Refetches() const { return fetches - distinct_fetches; }
@@ -88,6 +101,10 @@ struct CrawlStats {
     cache_hits += other.cache_hits;
     evictions += other.evictions;
     simulated_latency_us += other.simulated_latency_us;
+    transient_failures += other.transient_failures;
+    retries += other.retries;
+    giveups += other.giveups;
+    backoff_latency_us += other.backoff_latency_us;
   }
 };
 
@@ -113,6 +130,36 @@ class CrawlAccess {
     /// chain (reads keep working — the budget is a stopping signal, not a
     /// hard fault).
     uint64_t query_budget = 0;
+
+    /// Transient-fetch-failure model: real crawl APIs rate-limit and
+    /// 5xx, and a crawler answers with bounded retries under
+    /// exponential backoff plus jitter. Like latency_us this is a COST
+    /// model, not a data model: a failed attempt charges retries /
+    /// giveups / backoff_latency_us in CrawlStats (after the retry
+    /// budget the crawler is modeled as escalating to its slow reliable
+    /// path), but the fetch always ultimately serves correct bytes — so
+    /// estimates stay bit-identical to a failure-free run, at any
+    /// thread count, and the chaos suite can assert exactness.
+    struct FailureModel {
+      /// Per-attempt transient failure probability; 0 disables the model.
+      double fail_prob = 0.0;
+      /// Retry attempts before giving up on the fast path.
+      int max_retries = 4;
+      /// First backoff wait; doubles per retry: base * 2^attempt.
+      double backoff_base_us = 1000.0;
+      /// Cap on a single backoff wait (also the modeled cost of the
+      /// slow-path fallback after a giveup).
+      double backoff_max_us = 1e6;
+      /// Uniform extra wait fraction in [0, jitter) per backoff, drawn
+      /// from the failure RNG (decorrelates retry storms).
+      double jitter = 0.5;
+      /// Seed of the PRIVATE failure RNG stream. The engine derives one
+      /// per chain from the chain's global index, so failure schedules
+      /// replay exactly at any thread count; the walk RNG is never
+      /// consumed (consuming it would perturb the walk itself).
+      uint64_t seed = 0;
+    };
+    FailureModel failure;
   };
 
   CrawlAccess(const Graph& g, const Options& options);
@@ -174,6 +221,14 @@ class CrawlAccess {
  private:
   static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
 
+  // Rolls the failure model for one API fetch: draws per-attempt
+  // failures from the private failure RNG, charging retries, backoff
+  // waits and (past the retry budget) one giveup to stats_. Cold path,
+  // defined in access.cpp.
+  void SimulateTransientFailures() const;
+  // Books one chaos-injected transient failure + successful retry.
+  void RecordInjectedFailure() const;
+
   // The one place queries happen: serves v's list from the cache (LRU
   // touch) or issues a counted API fetch and inserts it, evicting the
   // least-recently-used list when at capacity.
@@ -191,6 +246,11 @@ class CrawlAccess {
     }
     ++stats_.fetches;
     stats_.simulated_latency_us += opt_.latency_us;
+    // Cold branch off the miss path; fail_prob == 0.0 (the default)
+    // costs one predictable compare per miss. The chaos site is the
+    // literal `false` in normal builds (see util/fault.h).
+    if (opt_.failure.fail_prob > 0.0) SimulateTransientFailures();
+    if (GRW_FAULT("crawl.fetch")) RecordInjectedFailure();
     const uint64_t bit = 1ULL << (v & 63u);
     if ((ever_fetched_[v >> 6] & bit) == 0) {
       ever_fetched_[v >> 6] |= bit;
@@ -237,6 +297,9 @@ class CrawlAccess {
   mutable uint32_t tail_ = kNoSlot;            // least recently used
   mutable uint32_t used_ = 0;
   mutable std::vector<uint64_t> ever_fetched_;  // distinct-fetch bitset
+  // Private stream for the failure model; reseeded by ResetCache() so a
+  // fresh crawler replays the same failure schedule.
+  mutable Rng fail_rng_;
 };
 
 /// Neighbor-list-only view of a graph with API-call accounting.

@@ -1,5 +1,9 @@
 #include "graph/format.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
@@ -10,6 +14,8 @@
 
 #include "graph/io.h"
 #include "graph/mapped_file.h"
+#include "util/fault.h"
+#include "util/posix_io.h"
 
 namespace grw {
 
@@ -57,7 +63,7 @@ uint64_t HeaderChecksum(const GrwbHeader& h) {
 }
 
 [[noreturn]] void Bad(const std::string& path, const std::string& why) {
-  throw std::runtime_error("LoadGraphBinary: " + path + ": " + why);
+  throw SnapshotCorruptError("LoadGraphBinary: " + path + ": " + why);
 }
 
 // Validates everything that can be checked without touching the data
@@ -139,20 +145,66 @@ void SaveGraphBinary(const Graph& g, const std::string& path, uint32_t flags) {
   h.reserved = 0;
   h.header_checksum = HeaderChecksum(h);
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw std::runtime_error("SaveGraphBinary: cannot open " + path);
+  // Crash-safe write discipline: stage into a same-directory temp file,
+  // fsync it, then atomically rename over the destination and fsync the
+  // directory. Every interruption point leaves `path` either absent or
+  // a complete old/new snapshot; a leftover temp never passes the
+  // loader's magic/size/checksum validation as `path`.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0 || GRW_FAULT("grwb.save.open")) {
+    if (fd >= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+    }
+    throw std::runtime_error("SaveGraphBinary: cannot open " + tmp + ": " +
+                             std::strerror(fd < 0 ? errno : EIO));
   }
-  bool ok = std::fwrite(&h, sizeof h, 1, f) == 1;
-  ok = ok && (out_offsets.empty() ||
-              std::fwrite(out_offsets.data(), 1, out_offsets.size_bytes(),
-                          f) == out_offsets.size_bytes());
-  ok = ok && (neighbors.empty() ||
-              std::fwrite(neighbors.data(), 1, neighbors.size_bytes(), f) ==
-                  neighbors.size_bytes());
-  const bool closed = std::fclose(f) == 0;
-  if (!ok || !closed) {
-    throw std::runtime_error("SaveGraphBinary: write failure on " + path);
+  const auto fail = [&](const std::string& what, int err) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("SaveGraphBinary: " + what + " " + tmp + ": " +
+                             std::strerror(err));
+  };
+
+  io::IoResult w = io::WriteAll(fd, &h, sizeof h);
+  if (w.ok()) w = io::WriteAll(fd, out_offsets.data(), out_offsets.size_bytes());
+  // Chaos site simulating the process dying with the payload half
+  // written (same disk state as `kill -9` mid-convert): the destination
+  // must still be absent or the previous complete snapshot.
+  if (GRW_FAULT("grwb.save.crash")) ::_exit(137);
+  if (w.ok()) w = io::WriteAll(fd, neighbors.data(), neighbors.size_bytes());
+  if (!w.ok() || GRW_FAULT("grwb.save.write")) {
+    fail("write failure on", w.ok() ? EIO : w.error);
+  }
+  // Data must be durable BEFORE the rename publishes it: rename-then-
+  // fsync could surface a complete-looking file with unwritten pages
+  // after power loss.
+  if (io::Fsync(fd) < 0) fail("fsync failure on", errno);
+  if (::close(fd) < 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("SaveGraphBinary: close failure on " + tmp +
+                             ": " + std::strerror(err));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) < 0 ||
+      GRW_FAULT("grwb.save.rename")) {
+    const int err = errno != 0 ? errno : EIO;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("SaveGraphBinary: cannot rename " + tmp +
+                             " to " + path + ": " + std::strerror(err));
+  }
+  // Make the rename itself durable (best effort: some filesystems
+  // refuse O_RDONLY directory fsync; the data above is already synced).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    io::Fsync(dir_fd);
+    ::close(dir_fd);
   }
 }
 

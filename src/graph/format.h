@@ -32,11 +32,23 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.h"
 
 namespace grw {
+
+/// Thrown when a `.grwb` snapshot fails validation (bad magic/version,
+/// checksum mismatch, truncation, structural inconsistency). A distinct
+/// type so callers can tell corrupt-data from transient IO: corruption
+/// is never retryable — quarantine the file (refuse to serve it, keep
+/// it for inspection) instead. Derives from std::runtime_error, so
+/// pre-existing catch sites keep working.
+class SnapshotCorruptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 inline constexpr uint32_t kGrwbMagic = 0x42575247;  // "GRWB" little-endian
 inline constexpr uint32_t kGrwbVersion = 1;
@@ -61,9 +73,18 @@ struct GrwbInfo {
   }
 };
 
-/// Writes g as a `.grwb` snapshot. `flags` is stored verbatim in the header
-/// (pass kGrwbFlagDegreeRelabeled when g came from RelabelByDegree).
-/// Throws std::runtime_error on I/O failure.
+/// Writes g as a `.grwb` snapshot, crash-safely: the bytes go to a
+/// temporary file in the same directory, are fsync'd, and only then
+/// atomically rename(2)d over `path` (followed by a directory fsync so
+/// the rename itself is durable). A crash at ANY point leaves either
+/// the old complete snapshot or the new complete snapshot at `path` —
+/// never a torn file — plus at worst an orphaned `path + ".tmp.<pid>"`
+/// that the loader rejects (no .grwb magic at best, failed checksum at
+/// worst). This also means a live reader's mmap is never truncated in
+/// place: rename swaps the directory entry, the old inode survives
+/// until unmapped. `flags` is stored verbatim in the header (pass
+/// kGrwbFlagDegreeRelabeled when g came from RelabelByDegree). Throws
+/// std::runtime_error on I/O failure (temp file already unlinked).
 void SaveGraphBinary(const Graph& g, const std::string& path,
                      uint32_t flags = 0);
 
@@ -73,7 +94,7 @@ void SaveGraphBinary(const Graph& g, const std::string& path,
 /// size), and the header checksum are always validated; with
 /// verify_checksum the whole file is read to additionally check offsets
 /// monotonicity, neighbor-id bounds, and the data checksum — use it for
-/// files from untrusted sources. Throws std::runtime_error naming the
+/// files from untrusted sources. Throws SnapshotCorruptError naming the
 /// path and the failed check.
 Graph LoadGraphBinary(const std::string& path, bool verify_checksum = false);
 

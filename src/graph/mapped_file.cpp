@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fault.h"
+
 namespace grw {
 
 namespace {
@@ -66,6 +68,27 @@ MappedFile MappedFile::Open(const std::string& path) {
     }
     mf.data_ = static_cast<const unsigned char*>(addr);
   }
+
+  // Detect a file that shrank between the stat and the mmap: pages past
+  // the new EOF would raise SIGBUS on first touch — possibly minutes
+  // into an estimate. Re-stat through the still-open descriptor and
+  // fail the load up front instead. (Shrinking AFTER this check cannot
+  // happen for `.grwb` files: SaveGraphBinary never truncates a live
+  // path, it atomically renames a complete temp file over it, so an
+  // existing mapping always covers a complete old inode.)
+  struct stat st2 {};
+  const bool restat_ok = ::fstat(fd, &st2) == 0;
+  size_t size_now = restat_ok ? static_cast<size_t>(st2.st_size) : 0;
+  if (GRW_FAULT("mmap.shrink")) size_now = mf.size_ / 2;
+  if (!restat_ok || size_now < mf.size_) {
+    ::close(fd);
+    // mf's destructor unmaps.
+    throw std::runtime_error(
+        "MappedFile: " + path + ": file truncated while mapping (" +
+        std::to_string(size_now) + " of " + std::to_string(mf.size_) +
+        " bytes remain); refusing a mapping that would SIGBUS");
+  }
+
   // The mapping outlives the descriptor.
   ::close(fd);
   return mf;

@@ -6,13 +6,28 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
+#include <thread>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "util/posix_io.h"
+#include "util/rng.h"
 
 namespace grw::serve {
 
-QueryClient::QueryClient(const std::string& host, int port) {
+QueryClient::QueryClient(const std::string& host, int port)
+    : QueryClient(host, port, Options{}) {}
+
+QueryClient::QueryClient(const std::string& host, int port,
+                         const Options& options)
+    : opt_(options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error("query: socket() failed: " +
@@ -23,14 +38,21 @@ QueryClient::QueryClient(const std::string& host, int port) {
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
+    fd_ = -1;
     throw std::runtime_error("query: invalid host '" + host + "'");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string err = std::strerror(errno);
+  if (io::ConnectWithTimeout(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr), opt_.connect_timeout_ms) != 0) {
+    const int err = errno;
     ::close(fd_);
-    throw std::runtime_error("query: cannot connect to " + host + ":" +
-                             std::to_string(port) + ": " + err);
+    fd_ = -1;
+    std::string what = "query: cannot connect to " + host + ":" +
+                       std::to_string(port) + ": ";
+    what += err == ETIMEDOUT
+                ? "timed out after " +
+                      std::to_string(opt_.connect_timeout_ms) + "ms"
+                : std::strerror(err);
+    throw std::runtime_error(what);
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -43,16 +65,14 @@ QueryClient::~QueryClient() {
 std::string QueryClient::RoundTrip(const std::string& line) {
   std::string request = line;
   request += '\n';
-  size_t off = 0;
-  while (off < request.size()) {
-    const ssize_t n =
-        ::write(fd_, request.data() + off, request.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("query: write failed: " +
-                               std::string(std::strerror(errno)));
+  const io::IoResult w = io::WriteAll(fd_, request, opt_.write_timeout_ms);
+  if (!w.ok()) {
+    if (w.status == io::IoResult::Status::kTimeout) {
+      throw std::runtime_error("query: send timed out after " +
+                               std::to_string(opt_.write_timeout_ms) + "ms");
     }
-    off += static_cast<size_t>(n);
+    throw std::runtime_error("query: write failed: " +
+                             std::string(std::strerror(w.error)));
   }
   char chunk[4096];
   while (true) {
@@ -63,12 +83,105 @@ std::string QueryClient::RoundTrip(const std::string& line) {
       if (!response.empty() && response.back() == '\r') response.pop_back();
       return response;
     }
-    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      throw std::runtime_error("query: server closed the connection");
+    const io::IoResult r =
+        io::ReadSome(fd_, chunk, sizeof(chunk), opt_.read_timeout_ms);
+    if (r.ok()) {
+      buffer_.append(chunk, r.bytes);
+      continue;
     }
-    buffer_.append(chunk, static_cast<size_t>(n));
+    switch (r.status) {
+      case io::IoResult::Status::kTimeout:
+        throw std::runtime_error("query: no response after " +
+                                 std::to_string(opt_.read_timeout_ms) +
+                                 "ms (server hung?)");
+      case io::IoResult::Status::kEof:
+        throw std::runtime_error("query: server closed the connection");
+      default:
+        throw std::runtime_error("query: read failed: " +
+                                 std::string(std::strerror(r.error)));
+    }
+  }
+}
+
+namespace {
+
+// A load-shed response carries "code": "RETRY_AFTER" plus the server's
+// backoff hint; anything else — including unparseable bytes — is a final
+// answer. Returns the hint in ms (>= 0) or a negative value for "not a
+// retryable response".
+double RetryAfterHintMs(const std::string& response) {
+  const std::optional<JsonValue> parsed = ParseJson(response);
+  if (!parsed.has_value()) return -1.0;
+  const JsonValue* code = parsed->Find("code");
+  if (code == nullptr || code->type != JsonValue::Type::kString ||
+      code->str != kErrorCodeRetryAfter) {
+    return -1.0;
+  }
+  const JsonValue* hint = parsed->Find("retry_after_ms");
+  if (hint != nullptr && hint->type == JsonValue::Type::kNumber &&
+      hint->number >= 0.0) {
+    return hint->number;
+  }
+  return 0.0;  // shed without a usable hint: pure policy backoff
+}
+
+}  // namespace
+
+QueryOutcome QueryWithRetry(const std::string& host, int port,
+                            const std::string& line,
+                            const QueryClient::Options& options,
+                            const RetryPolicy& policy) {
+  QueryOutcome out;
+  Rng jitter_rng(policy.seed);
+  const int max_retries = std::max(0, policy.max_retries);
+
+  // One reusable connection across load-shed retries (the stream stays
+  // healthy — the server ANSWERED), but rebuilt from scratch after any
+  // transport failure, whose stream is poisoned mid-exchange.
+  std::unique_ptr<QueryClient> client;
+  for (int attempt = 0;; ++attempt) {
+    out.attempts = attempt + 1;
+    out.retries = attempt;
+    std::string response;
+    try {
+      if (client == nullptr) {
+        client = std::make_unique<QueryClient>(host, port, options);
+      }
+      response = client->RoundTrip(line);
+    } catch (const std::exception& e) {
+      client.reset();
+      out.error = e.what();
+      if (attempt >= max_retries) {
+        out.transport_error = true;
+        return out;
+      }
+      // Policy backoff only — a transport failure has no server hint.
+      double wait = policy.backoff_base_ms * std::ldexp(1.0, attempt);
+      wait = std::min(wait, policy.backoff_max_ms);
+      wait += wait * policy.jitter * jitter_rng.UniformReal();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(wait * 1000.0)));
+      continue;
+    }
+
+    const double hint_ms = RetryAfterHintMs(response);
+    if (hint_ms < 0.0 || attempt >= max_retries) {
+      // Final answer (ok, or a non-retryable error, or retries spent —
+      // the last shed response is still a clean structured error).
+      out.response = std::move(response);
+      out.error.clear();
+      out.transport_error = false;
+      return out;
+    }
+    // Load shed: honor the server's hint, but never beyond the policy
+    // cap, and at least the policy's own backoff curve so a zero hint
+    // still spaces attempts out.
+    double wait = policy.backoff_base_ms * std::ldexp(1.0, attempt);
+    wait = std::max(wait, hint_ms);
+    wait = std::min(wait, policy.backoff_max_ms);
+    wait += wait * policy.jitter * jitter_rng.UniformReal();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(wait * 1000.0)));
   }
 }
 

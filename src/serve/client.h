@@ -4,17 +4,42 @@
 // serve tests: connect once, then RoundTrip() request lines — the server
 // answers strictly in order, so one in-flight request per client needs
 // no correlation ids.
+//
+// Every wait is bounded by default (Options): a hung or wedged server
+// yields a clear std::runtime_error instead of blocking the client
+// forever. On top of the single-connection client, QueryWithRetry()
+// implements the full resilience loop one logical query wants:
+// reconnect-and-resend on transport failures, honor the server's
+// structured RETRY_AFTER load-shed hint, capped exponential backoff
+// with jitter between attempts, and never retry an error that is a
+// final answer.
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace grw::serve {
 
 class QueryClient {
  public:
-  /// Connects to host:port; throws std::runtime_error on failure.
+  struct Options {
+    /// Bound on establishing the TCP connection. -1 waits forever.
+    int connect_timeout_ms = 5'000;
+    /// Bound on each wait for response bytes. Covers the engine run the
+    /// server performs before answering, so it is generous by default;
+    /// -1 waits forever (pre-PR-9 behavior, not recommended).
+    int read_timeout_ms = 30'000;
+    /// Bound on each send. Sends only block when the peer's socket
+    /// buffer is full, so this guards against a wedged (not merely
+    /// slow) server.
+    int write_timeout_ms = 30'000;
+  };
+
+  /// Connects to host:port; throws std::runtime_error on failure or
+  /// connect timeout. The two-argument form uses the default Options.
   QueryClient(const std::string& host, int port);
+  QueryClient(const std::string& host, int port, const Options& options);
   ~QueryClient();
 
   QueryClient(const QueryClient&) = delete;
@@ -22,12 +47,56 @@ class QueryClient {
 
   /// Sends `line` (newline appended) and returns the single response
   /// line, without its newline. Throws std::runtime_error if the server
-  /// hangs up mid-exchange.
+  /// hangs up mid-exchange or a timeout elapses.
   std::string RoundTrip(const std::string& line);
 
  private:
+  Options opt_;
   int fd_ = -1;
   std::string buffer_;  // bytes past the last returned response line
 };
+
+/// Retry policy for QueryWithRetry: exponential backoff base * 2^attempt
+/// capped at max, plus a uniform jitter fraction, REAL wall-clock sleeps
+/// (unlike the crawl failure model, a live client actually waits).
+struct RetryPolicy {
+  /// Retries after the first attempt (so max_retries + 1 attempts total).
+  int max_retries = 4;
+  double backoff_base_ms = 25.0;
+  double backoff_max_ms = 2'000.0;
+  /// Extra uniform wait fraction in [0, jitter) per backoff, so a fleet
+  /// of shed clients does not resend in lockstep.
+  double jitter = 0.5;
+  /// Seed for the jitter stream (deterministic tests).
+  uint64_t seed = 0x72657472795eedULL;
+};
+
+/// The result of one logical query through the retry loop.
+struct QueryOutcome {
+  /// The final response line. Empty iff transport_error.
+  std::string response;
+  /// Connection/send/receive attempts made (>= 1).
+  int attempts = 1;
+  /// Retries performed (attempts - 1): transport failures + load sheds.
+  int retries = 0;
+  /// True when every attempt failed at the transport layer (connect,
+  /// timeout, hangup) — `error` describes the last failure and
+  /// `response` is empty. A false value with an error response in
+  /// `response` means the SERVER answered; that answer is final.
+  bool transport_error = false;
+  std::string error;
+};
+
+/// One logical query with bounded retries. Retried: transport failures
+/// (fresh connection per attempt — the old stream is poisoned) and
+/// structured RETRY_AFTER load-shed responses, honoring the server's
+/// retry_after_ms hint (capped at policy.backoff_max_ms). NOT retried:
+/// any other error response — those are final answers (bad request,
+/// unknown graph, deadline exceeded), and resending cannot change them.
+/// Never throws; transport failure is reported in the outcome.
+QueryOutcome QueryWithRetry(const std::string& host, int port,
+                            const std::string& line,
+                            const QueryClient::Options& options = {},
+                            const RetryPolicy& policy = {});
 
 }  // namespace grw::serve

@@ -228,6 +228,18 @@ std::string ErrorResponse(std::string_view error) {
   return out;
 }
 
+std::string OverloadedResponse(std::string_view error,
+                               double retry_after_ms) {
+  std::string out = "{\"ok\": false, \"error\": ";
+  out += JsonQuote(error);
+  out += ", \"code\": ";
+  out += JsonQuote(kErrorCodeRetryAfter);
+  out += ", \"retry_after_ms\": ";
+  out += JsonNumber(retry_after_ms);
+  out += "}";
+  return out;
+}
+
 std::string PingResponse() { return "{\"ok\": true, \"pong\": true}"; }
 
 std::string EstimateResponse(const EstimateRequest& req,

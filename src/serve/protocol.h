@@ -97,6 +97,16 @@ EngineOptions ToEngineOptions(const EstimateRequest& req);
 std::string ErrorResponse(std::string_view error);
 std::string PingResponse();
 
+/// Machine-readable error code for load shedding: clients that see
+/// `"code": "RETRY_AFTER"` should back off `retry_after_ms` and resend —
+/// the request was REFUSED BEFORE any work, so retrying is always safe.
+/// Other error responses are final answers and must not be retried.
+inline constexpr std::string_view kErrorCodeRetryAfter = "RETRY_AFTER";
+
+/// {"ok":false,"error":...,"code":"RETRY_AFTER","retry_after_ms":N} —
+/// the scheduler's admission-queue-full load shed.
+std::string OverloadedResponse(std::string_view error, double retry_after_ms);
+
 /// {"ok":true,...,"labels":[...],"concentrations":[...]} with the
 /// concentrations in paper order, %.17g (bit-exact round trip).
 std::string EstimateResponse(const EstimateRequest& req,

@@ -11,12 +11,14 @@ const Graph* SnapshotRegistry::FindResidentLocked(
 }
 
 void SnapshotRegistry::Register(const std::string& id,
-                                const std::string& path, bool build_index) {
+                                const std::string& path, bool build_index,
+                                bool verify) {
   Entry entry;
   entry.path = path;
 
+  const bool is_binary = IsGraphBinaryFile(path);
   std::string content_key;
-  if (IsGraphBinaryFile(path)) {
+  if (is_binary) {
     // One header read gives the content identity before we decide
     // whether a resident mapping can be reused.
     entry.checksum = InspectGraphBinary(path).data_checksum;
@@ -38,8 +40,11 @@ void SnapshotRegistry::Register(const std::string& id,
   // slow registration must not block lookups. Two threads racing to
   // register the same content both load; the second insert below merely
   // replaces an identical resident graph — wasted work, never a wrong
-  // answer.
-  Graph g = LoadGraph(path);
+  // answer. Binary snapshots are checksum-verified here (see header)
+  // so corruption surfaces as SnapshotCorruptError at registration, not
+  // as garbage estimates at query time.
+  Graph g = is_binary ? LoadGraphBinary(path, /*verify_checksum=*/verify)
+                      : LoadGraph(path);
   if (build_index) g.BuildAdjacencyIndex();
   entry.graph = std::move(g);
 

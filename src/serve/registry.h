@@ -41,9 +41,19 @@ class SnapshotRegistry {
   /// reuses the resident mapping and its warm AdjacencyIndex; a changed
   /// checksum loads fresh. Text edge lists are accepted too (parsed,
   /// checksum 0, never shared by key). Builds the AdjacencyIndex unless
-  /// `build_index` is false. Throws std::runtime_error on load failure.
+  /// `build_index` is false.
+  ///
+  /// With `verify` (the default), `.grwb` payloads are fully validated
+  /// at registration — data checksum, offsets monotonicity, neighbor-id
+  /// bounds — so a daemon never serves estimates from a silently
+  /// corrupted snapshot; a mismatch throws SnapshotCorruptError and the
+  /// id stays unbound (the caller quarantines: skip the binding, keep
+  /// the file for inspection). The full-file read this costs is
+  /// comparable to the index build the daemon does anyway. Throws
+  /// std::runtime_error on other load failures.
   void Register(const std::string& id, const std::string& path,
-                bool build_index = true) GRW_EXCLUDES(mu_);
+                bool build_index = true, bool verify = true)
+      GRW_EXCLUDES(mu_);
 
   /// Registers an in-memory graph (tests, the bench load generator).
   void RegisterGraph(const std::string& id, Graph graph,

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "engine/engine.h"
+#include "util/fault.h"
 
 namespace grw::serve {
 
@@ -72,10 +73,15 @@ std::string ServeScheduler::SubmitEstimate(EstimateRequest request) {
       ++stats_.errors;
       return ErrorResponse("server draining, not accepting requests");
     }
-    if (queue_.size() >= options_.queue_limit) {
+    // Load shed with the structured RETRY_AFTER error: refused before
+    // any work, so the client can safely back off and resend
+    // (QueryWithRetry in client.h does). The chaos site forces this arm
+    // so injection exercises the whole shed-retry-succeed loop.
+    if (queue_.size() >= options_.queue_limit || GRW_FAULT("serve.admit")) {
       ++stats_.rejected_queue;
       ++stats_.errors;
-      return ErrorResponse("server overloaded (queue full)");
+      return OverloadedResponse("server overloaded (queue full)",
+                                options_.retry_after_ms);
     }
     // Tenant admission: cap the request's crawl budget by the tenant's
     // remaining allowance. The engine then enforces it chain-locally and
@@ -136,6 +142,11 @@ void ServeScheduler::RunJob(Job& job) {
   uint64_t charged_distinct = 0;
 
   try {
+    // Chaos site: a worker blowing up mid-job must surface as a clean
+    // structured error on THIS request and leave the pool healthy.
+    if (GRW_FAULT("serve.job")) {
+      throw std::runtime_error("injected fault: serve.job");
+    }
     if (job.has_deadline &&
         std::chrono::steady_clock::now() >= job.deadline) {
       // Expired while queued: answer without occupying the pool.

@@ -60,6 +60,11 @@ struct SchedulerOptions {
   /// Jobs allowed to *wait* beyond the ones running; further submissions
   /// are rejected with an overloaded error.
   size_t queue_limit = 64;
+  /// Backoff hint carried in the structured RETRY_AFTER load-shed
+  /// response (protocol.h OverloadedResponse): how long a shed client
+  /// should wait before resending. Rough guide: the expected time for
+  /// one queue slot to free up.
+  double retry_after_ms = 50.0;
   /// Per-tenant distinct-query allowance across a tenant's lifetime
   /// (0 = unlimited). Requests naming a tenant consume it via crawl
   /// accounting; anonymous requests are exempt.

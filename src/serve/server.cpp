@@ -11,26 +11,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/posix_io.h"
+
 namespace grw::serve {
-
-namespace {
-
-// write() the whole buffer, riding out EINTR and partial writes. Returns
-// false on a dead peer (response dropped, connection will close).
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 ServeServer::ServeServer(const SnapshotRegistry* registry,
                          ServerOptions options)
@@ -103,22 +86,31 @@ void ServeServer::Connection(int fd) {
   char chunk[4096];
   bool open = true;
   while (open) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF (peer or Stop's SHUT_RD) or error
-    buffer.append(chunk, static_cast<size_t>(n));
+    // No read timeout: an idle long-lived connection is legitimate, and
+    // shutdown liveness comes from Stop()'s SHUT_RD half-close (EOF),
+    // not from a deadline. The checked wrapper still absorbs EINTR and
+    // the injected io.read.* faults.
+    const io::IoResult r = io::ReadSome(fd, chunk, sizeof(chunk));
+    if (!r.ok()) break;  // EOF (peer or Stop's SHUT_RD) or error
+    buffer.append(chunk, r.bytes);
     size_t nl;
     while (open && (nl = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, nl);
       buffer.erase(0, nl + 1);
       std::string response = scheduler_->HandleLine(line);
       response += '\n';
-      if (!WriteAll(fd, response)) open = false;
+      // Bounded send: a peer that stops draining gets its response
+      // dropped and the connection closed instead of wedging this
+      // thread forever on a full socket buffer.
+      if (!io::WriteAll(fd, response, options_.write_timeout_ms).ok()) {
+        open = false;
+      }
     }
     if (buffer.size() > options_.max_line_bytes) {
       // A peer streaming an endless unterminated "line" is not speaking
       // the protocol; answer once and hang up.
-      WriteAll(fd, ErrorResponse("request line too long") + "\n");
+      io::WriteAll(fd, ErrorResponse("request line too long") + "\n",
+                   options_.write_timeout_ms);
       break;
     }
   }

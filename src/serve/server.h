@@ -41,6 +41,11 @@ struct ServerOptions {
   /// Cap on the longest accepted request line; longer input is answered
   /// with an error and the connection closed (a non-protocol peer).
   size_t max_line_bytes = 1 << 16;
+  /// Bound on each response send. A client that stops draining its socket
+  /// would otherwise wedge its connection thread forever once the kernel
+  /// buffer fills; on timeout the response is dropped and the connection
+  /// closed. -1 waits indefinitely.
+  int write_timeout_ms = 30'000;
   SchedulerOptions scheduler;
 };
 

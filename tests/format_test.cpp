@@ -145,6 +145,23 @@ class FormatCorruptionTest : public ::testing::Test {
   std::string path_;
 };
 
+// Runs `load` expecting a SnapshotCorruptError (the subtype registries
+// use to quarantine rather than retry) and returns its message so tests
+// can assert the error is descriptive, not just thrown.
+template <typename Fn>
+std::string CorruptionMessage(Fn load) {
+  try {
+    load();
+  } catch (const SnapshotCorruptError& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "wrong exception type: " << e.what();
+    return {};
+  }
+  ADD_FAILURE() << "expected SnapshotCorruptError";
+  return {};
+}
+
 TEST_F(FormatCorruptionTest, RejectsBadMagic) {
   Poke(0, 'X');
   EXPECT_THROW(LoadGraphBinary(path_), std::runtime_error);
@@ -231,6 +248,106 @@ TEST_F(FormatCorruptionTest, ChecksumCatchesFlippedDataByte) {
   Poke(data_start + 3, 0xAB);
   EXPECT_THROW(LoadGraphBinary(path_, /*verify_checksum=*/true),
                std::runtime_error);
+}
+
+TEST_F(FormatCorruptionTest, CorruptionErrorsAreTypedAndDescriptive) {
+  // Every corruption path throws SnapshotCorruptError (so registries can
+  // quarantine instead of retry) with a message naming the file and the
+  // specific defect — "something went wrong" is not a diagnosis.
+
+  // Bit-flipped payload byte: flip the low bit of a neighbor id's low
+  // byte, which keeps the id in range (ids change by ±1) so the checksum
+  // — not the range check — is what has to catch it.
+  const uint64_t data_start =
+      64 + (uint64_t{KarateClub().NumNodes()} + 1) * 8;
+  unsigned char low = 0;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(data_start), SEEK_SET), 0);
+    ASSERT_EQ(std::fread(&low, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  Poke(data_start, low ^ 1u);
+  std::string msg = CorruptionMessage(
+      [&] { LoadGraphBinary(path_, /*verify_checksum=*/true); });
+  EXPECT_NE(msg.find(path_), std::string::npos) << msg;
+  EXPECT_NE(msg.find("data checksum mismatch"), std::string::npos) << msg;
+
+  // Truncated tail: caught up front by the header/size cross-check,
+  // naming both the actual and the implied size.
+  SaveGraphBinary(KarateClub(), path_);
+  Truncate(std::filesystem::file_size(path_) - 5);
+  msg = CorruptionMessage([&] { LoadGraphBinary(path_); });
+  EXPECT_NE(msg.find("truncated or oversized file"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("header implies"), std::string::npos) << msg;
+
+  // Header/size mismatch: a forged neighbors_bytes that disagrees with
+  // the actual file size (checksum re-forged so only the size check can
+  // object). Bytes 24..31 hold neighbors_bytes; poke its low byte and
+  // expect the header checksum to catch the edit first.
+  SaveGraphBinary(KarateClub(), path_);
+  Poke(24, 0xEE);
+  msg = CorruptionMessage([&] { LoadGraphBinary(path_); });
+  EXPECT_NE(msg.find("header checksum mismatch"), std::string::npos) << msg;
+
+  // Garbage magic reports "not a .grwb snapshot", not a generic failure.
+  SaveGraphBinary(KarateClub(), path_);
+  Poke(0, 'Z');
+  msg = CorruptionMessage([&] { LoadGraphBinary(path_); });
+  EXPECT_NE(msg.find("bad magic"), std::string::npos) << msg;
+}
+
+TEST(FormatTest, SaveLeavesNoTempLitterOnSuccess) {
+  // The crash-safe writer stages through <path>.tmp.<pid>; a successful
+  // save must leave exactly the destination behind.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "grw_format_litter";
+  fs::create_directories(dir);
+  const std::string path = (dir / "snap.grwb").string();
+  SaveGraphBinary(KarateClub(), path);
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "snap.grwb");
+  }
+  EXPECT_EQ(entries, 1u);
+  // Overwrite in place: readers of the old inode are unaffected and
+  // still no litter appears.
+  const Graph old_mapping = LoadGraphBinary(path);
+  SaveGraphBinary(Complete(6), path);
+  EXPECT_EQ(old_mapping.Summary(), KarateClub().Summary());
+  EXPECT_EQ(LoadGraphBinary(path).Summary(), Complete(6).Summary());
+  entries = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FormatTest, AbandonedTempFileIsNotAValidSnapshot) {
+  // Simulate a crash's leftovers: a bare temp file (never renamed) at a
+  // tmp-suffixed name. Nothing may load it as the destination, and the
+  // destination itself must simply not exist.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "grw_format_abandoned";
+  fs::create_directories(dir);
+  const std::string path = (dir / "snap.grwb").string();
+  const std::string tmp = path + ".tmp.12345";
+  // A truncated prefix of a real snapshot, as an interrupted write
+  // would leave: save elsewhere, copy half the bytes.
+  const std::string donor = (dir / "donor.grwb").string();
+  SaveGraphBinary(KarateClub(), donor);
+  const auto donor_size = fs::file_size(donor);
+  fs::copy_file(donor, tmp);
+  fs::resize_file(tmp, donor_size / 2);
+
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_THROW(LoadGraphBinary(path), std::exception);
+  EXPECT_THROW(LoadGraphBinary(tmp), SnapshotCorruptError);
+  fs::remove_all(dir);
 }
 
 TEST(FormatTest, LoadGraphAutoDetectsBothFormats) {

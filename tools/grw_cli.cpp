@@ -21,6 +21,7 @@
 //       [--target-nrmse X] [--max-steps N] [--quiet] [--no-index]
 //       [--batch] [--lanes W]
 //       [--crawl] [--budget-queries B] [--cache-size C] [--latency-us L]
+//       [--fail-prob P] [--fail-retries R] [--fail-backoff-us U]
 //       Random-walk estimation (the paper's Algorithm 1) on the parallel
 //       estimation engine: --chains independent chains merged into one
 //       estimate; with --target-nrmse the engine stops as soon as the
@@ -31,7 +32,10 @@
 //       private LRU neighbor cache of --cache-size lists (0 = unbounded)
 //       with per-query accounting and optional simulated latency, and
 //       --budget-queries stops the run once B distinct neighbor-list
-//       fetches were spent across chains. Estimates are bit-identical to
+//       fetches were spent across chains. --fail-prob adds a transient
+//       fetch-failure model (bounded retries, exponential backoff +
+//       jitter, deterministic per chain) whose retries/giveups/backoff
+//       land in the crawl-cost report. Estimates are bit-identical to
 //       the full-access run; only cost and stopping change. --batch runs
 //       chains through the W-lane SoA walk kernel (walk/batched_walk.h,
 //       --lanes per unit, default 8) — same estimates bit-for-bit, higher
@@ -46,6 +50,10 @@
 //       defaults field for field, so the served answer is bit-identical
 //       to a local run on the same snapshot. --send bypasses the flag
 //       mapping and ships a raw protocol line (PING, LIST, ...).
+//       --connect-timeout-ms/--read-timeout-ms bound every wait (defaults
+//       5000/30000, -1 = forever) and --retries bounds the resilience
+//       loop: transport failures reconnect + resend, RETRY_AFTER load
+//       sheds honor the server's backoff hint, other errors are final.
 //
 // Every place a <graph> is taken, text edge lists, `.grwb` snapshots, and
 // registry dataset names are all accepted (format auto-detected).
@@ -103,6 +111,10 @@ int Usage() {
       "           [--latency-us L]         crawl scenario: LRU-cached\n"
       "                                   restricted access, stop at B\n"
       "                                   distinct neighbor fetches\n"
+      "           [--fail-prob P] [--fail-retries R] [--fail-backoff-us U]\n"
+      "                                   transient fetch failures with\n"
+      "                                   bounded retry + backoff (cost\n"
+      "                                   model; estimates unchanged)\n"
       "           [--raw]                  `label value` lines instead of\n"
       "                                   the table (diffable vs query)\n"
       "  query <id> [--host H] [--port P] [--raw] [--send 'LINE']\n"
@@ -110,6 +122,11 @@ int Usage() {
       "                                   query a running grw_serve daemon;\n"
       "                                   results are bit-identical to a\n"
       "                                   local `estimate` run\n"
+      "           [--connect-timeout-ms MS] [--read-timeout-ms MS]\n"
+      "           [--retries R]            bounded waits (defaults 5000 /\n"
+      "                                   30000, -1 = forever) and retries\n"
+      "                                   on transport errors + RETRY_AFTER\n"
+      "                                   load sheds (default 4)\n"
       "  <graph> may be a text edge list, a .grwb snapshot, or a dataset\n"
       "  name from `grw datasets`.\n",
       stderr);
@@ -336,15 +353,36 @@ int CmdEstimate(const grw::Flags& flags) {
     throw std::runtime_error(
         "--budget-queries / --cache-size / --latency-us must be >= 0");
   }
+  // Transient-failure model (cost-only — estimates are unchanged): each
+  // fetch attempt fails with --fail-prob, answered by up to
+  // --fail-retries retries under exponential backoff starting at
+  // --fail-backoff-us (doubling, capped, plus jitter).
+  const double fail_prob = flags.GetDouble("fail-prob", 0.0);
+  const int fail_retries = flags.GetInt32("fail-retries", 4);
+  const double fail_backoff_us = flags.GetDouble("fail-backoff-us", 1000.0);
+  if (fail_prob < 0.0 || fail_prob >= 1.0) {
+    throw std::runtime_error("--fail-prob must be in [0, 1)");
+  }
+  if (fail_retries < 0 || fail_backoff_us < 0.0) {
+    throw std::runtime_error(
+        "--fail-retries / --fail-backoff-us must be >= 0");
+  }
   // Presence-based: `--budget-queries 0` / `--latency-us 0` still switch
   // the run onto crawl accounting (with no budget / no latency), exactly
-  // like `--cache-size 0` means crawl with an unbounded cache.
+  // like `--cache-size 0` means crawl with an unbounded cache. Any
+  // failure-model knob implies crawl too.
   options.crawl.enabled = flags.GetBool("crawl") ||
                           flags.Has("budget-queries") ||
-                          flags.Has("cache-size") || flags.Has("latency-us");
+                          flags.Has("cache-size") || flags.Has("latency-us") ||
+                          flags.Has("fail-prob") ||
+                          flags.Has("fail-retries") ||
+                          flags.Has("fail-backoff-us");
   options.crawl.budget_queries = static_cast<uint64_t>(budget_queries);
   options.crawl.cache_entries = static_cast<uint64_t>(cache_size);
   options.crawl.latency_us = latency_us;
+  options.crawl.fail_prob = fail_prob;
+  options.crawl.fail_max_retries = fail_retries;
+  options.crawl.fail_backoff_us = fail_backoff_us;
 
   // Batched kernel: estimates are bit-identical to the scalar path, so
   // this is purely a throughput knob. --lanes implies --batch.
@@ -460,6 +498,15 @@ int CmdEstimate(const grw::Flags& flags) {
         static_cast<unsigned long long>(a.Refetches()),
         100.0 * a.HitRate(),
         static_cast<unsigned long long>(a.evictions));
+    if (options.crawl.fail_prob > 0.0 || a.transient_failures > 0) {
+      std::printf(
+          "crawl resilience: %llu transient failures -> %llu retries, "
+          "%llu giveups (slow-path fallbacks), %.2fs simulated backoff\n",
+          static_cast<unsigned long long>(a.transient_failures),
+          static_cast<unsigned long long>(a.retries),
+          static_cast<unsigned long long>(a.giveups),
+          a.backoff_latency_us / 1e6);
+    }
     if (options.crawl.latency_us > 0.0) {
       // Chains crawl concurrently, so simulated API latency amortizes
       // across them the way wall-clock does.
@@ -544,8 +591,31 @@ int CmdQuery(const grw::Flags& flags) {
     }
   }
 
-  grw::serve::QueryClient client(host, static_cast<int>(port));
-  const std::string response = client.RoundTrip(line);
+  // Bounded waits by default: a hung daemon yields an error, not a
+  // wedged CLI. -1 restores the old wait-forever behavior.
+  grw::serve::QueryClient::Options client_options;
+  client_options.connect_timeout_ms =
+      flags.GetInt32("connect-timeout-ms", client_options.connect_timeout_ms);
+  client_options.read_timeout_ms =
+      flags.GetInt32("read-timeout-ms", client_options.read_timeout_ms);
+  grw::serve::RetryPolicy policy;
+  policy.max_retries = flags.GetInt32("retries", policy.max_retries);
+  if (policy.max_retries < 0) {
+    throw std::runtime_error("--retries must be >= 0");
+  }
+
+  // Transport failures reconnect and resend; RETRY_AFTER load sheds back
+  // off per the server's hint. Any other error response is final.
+  const grw::serve::QueryOutcome outcome = grw::serve::QueryWithRetry(
+      host, static_cast<int>(port), line, client_options, policy);
+  if (outcome.transport_error) {
+    std::string what = outcome.error;
+    if (outcome.retries > 0) {
+      what += " (after " + std::to_string(outcome.attempts) + " attempts)";
+    }
+    throw std::runtime_error(what);
+  }
+  const std::string& response = outcome.response;
   const auto parsed = grw::serve::ParseJson(response);
 
   if (passthrough) {

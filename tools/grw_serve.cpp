@@ -2,7 +2,8 @@
 //
 //   grw_serve [--host H] [--port P] [--workers N] [--queue N]
 //             [--engine-threads T] [--tenant-budget B] [--max-steps N]
-//             [--max-chains N] [--no-index] <id>=<graph> ...
+//             [--max-chains N] [--retry-after-ms MS] [--no-index]
+//             [--no-verify] <id>=<graph> ...
 //
 // Loads every <id>=<graph> binding into a resident SnapshotRegistry
 // (`.grwb` snapshots mmap in microseconds and share warm adjacency
@@ -22,6 +23,9 @@
 //                     (0 = unlimited)
 //   --max-steps /     per-request caps enforced at parse time
 //   --max-chains
+//   --retry-after-ms  backoff hint in RETRY_AFTER load-shed responses
+//                     (default 50); corrupt .grwb snapshots are
+//                     quarantined at startup unless --no-verify
 //
 // Try it:
 //   grw_serve --port 7411 web=web.grwb &
@@ -33,6 +37,7 @@
 #include <ctime>
 
 #include "eval/datasets.h"
+#include "graph/format.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "util/flags.h"
@@ -48,9 +53,13 @@ int Usage() {
       "usage: grw_serve [--host H] [--port P] [--workers N] [--queue N]\n"
       "                 [--engine-threads T] [--tenant-budget B]\n"
       "                 [--max-steps N] [--max-chains N] [--no-index]\n"
+      "                 [--no-verify] [--retry-after-ms MS]\n"
       "                 <id>=<graph> [<id>=<graph> ...]\n"
       "  <graph> is a .grwb snapshot (preferred: zero-copy mmap), a text\n"
-      "  edge list, or a dataset name from `grw datasets`.\n",
+      "  edge list, or a dataset name from `grw datasets`.\n"
+      "  .grwb payloads are checksum-verified at registration; corrupt\n"
+      "  snapshots are quarantined (skipped with a log line). --no-verify\n"
+      "  trusts the files and skips the full-file read.\n",
       stderr);
   return 2;
 }
@@ -74,9 +83,17 @@ int main(int argc, char** argv) {
       flags.GetUInt64("max-steps", 50000000);
   options.scheduler.limits.max_chains =
       flags.GetInt32("max-chains", 256);
+  // Backoff hint shed clients receive in RETRY_AFTER responses.
+  options.scheduler.retry_after_ms = flags.GetDouble("retry-after-ms", 50.0);
+  if (options.scheduler.retry_after_ms < 0.0) {
+    std::fprintf(stderr, "grw_serve: --retry-after-ms must be >= 0\n");
+    return 2;
+  }
   const bool build_index = !flags.GetBool("no-index");
+  const bool verify = !flags.GetBool("no-verify");
 
   grw::serve::SnapshotRegistry registry;
+  size_t quarantined = 0;
   try {
     for (const std::string& binding : flags.positional()) {
       const size_t eq = binding.find('=');
@@ -93,11 +110,27 @@ int main(int argc, char** argv) {
         if (build_index) g.BuildAdjacencyIndex();
         registry.RegisterGraph(id, std::move(g), path);
       } else {
-        registry.Register(id, path, build_index);
+        try {
+          registry.Register(id, path, build_index, verify);
+        } catch (const grw::SnapshotCorruptError& e) {
+          // Quarantine: the id stays unbound (queries for it get a
+          // clean "unknown graph" error), the file stays on disk for
+          // inspection, and the daemon keeps serving the healthy rest.
+          std::fprintf(stderr, "[serve] QUARANTINED %s: %s\n", id.c_str(),
+                       e.what());
+          ++quarantined;
+        }
       }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "grw_serve: %s\n", e.what());
+    return 1;
+  }
+  if (quarantined > 0 && registry.size() == 0) {
+    std::fprintf(stderr,
+                 "grw_serve: all %zu snapshot(s) quarantined, refusing to "
+                 "serve nothing\n",
+                 quarantined);
     return 1;
   }
   for (const auto& entry : registry.List()) {

@@ -25,6 +25,11 @@ Checks (each is a function named check_*; `--list` prints them):
   doc-refs          backtick-quoted repo paths in CHANGES.md / ROADMAP.md
                     (src/, tests/, bench/, tools/, docs/, examples/
                     prefixes) must resolve — stale references rot fast.
+  raw-posix-io      no ::read / ::write / ::send / ::recv / ::connect
+                    outside src/util/posix_io.cpp — socket and file IO
+                    goes through grw::io (EINTR retry, partial-write
+                    loops, timeouts, fault-injection sites) so no call
+                    path silently skips the hardening.
 
 Usage:
   tools/lint_invariants.py [--root DIR]   lint the tree (exit 1 on findings)
@@ -41,6 +46,7 @@ import tempfile
 CODE_DIRS = ["src", "tests", "bench", "tools", "examples"]
 CODE_EXTENSIONS = {".h", ".cpp"}
 SYNC_HEADER = os.path.join("src", "util", "sync.h")
+POSIX_IO_IMPL = os.path.join("src", "util", "posix_io.cpp")
 
 RAW_SYNC_RE = re.compile(
     r"std::(?:mutex|condition_variable(?:_any)?|recursive_mutex|"
@@ -52,6 +58,7 @@ UNCHECKED_CAST_RE = re.compile(
 TEST_MACRO_RE = re.compile(r"\b(?:TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(")
 GBENCH_INCLUDE_RE = re.compile(r'#include\s+[<"]benchmark/benchmark\.h[>"]')
 DOC_REF_RE = re.compile(r"`((?:src|tests|bench|tools|docs|examples)/[^`]+)`")
+RAW_POSIX_IO_RE = re.compile(r"::(?:read|write|send|recv|connect)\s*\(")
 
 
 def strip_comments(lines):
@@ -209,6 +216,16 @@ def check_doc_refs(root):
     return findings
 
 
+def check_raw_posix_io(root):
+    return grep_rule(
+        root, RAW_POSIX_IO_RE,
+        "raw ::read/::write/::send/::recv/::connect — route through "
+        "grw::io (ReadSome/WriteAll/ConnectWithTimeout in util/posix_io.h) "
+        "for EINTR retry, partial-write handling, timeouts, and fault "
+        "injection",
+        exclude=(POSIX_IO_IMPL,))
+
+
 ALL_CHECKS = [
     ("raw-sync", check_raw_sync),
     ("detach", check_detach),
@@ -217,6 +234,7 @@ ALL_CHECKS = [
     ("tests-registered", check_tests_registered),
     ("bench-json", check_bench_json),
     ("doc-refs", check_doc_refs),
+    ("raw-posix-io", check_raw_posix_io),
 ]
 
 
@@ -239,6 +257,9 @@ def _write(root, rel, content):
 
 def _make_clean_tree(root):
     _write(root, SYNC_HEADER, "// the one legitimate home\nstd::mutex mu;\n")
+    _write(root, POSIX_IO_IMPL,
+           "// the one legitimate home for raw syscalls\n"
+           "ssize_t n = ::read(fd, buf, cap);\n")
     _write(root, "src/a.cpp",
            "// comment mentioning std::mutex and static_cast<int>(f.GetInt(\n"
            "int x = f.GetInt32(\"n\", 1);\n")
@@ -282,6 +303,8 @@ def self_test():
             "bench-json": ("bench/bench_nojson.cpp", "int main() {}\n"),
             "doc-refs": ("CHANGES.md",
                          "- see `src/ghost_file.cpp` for details\n"),
+            "raw-posix-io": ("src/bad_io.cpp",
+                             "ssize_t n = ::write(fd, data, len);\n"),
         }
         for rule, (rel, content) in seeds.items():
             with tempfile.TemporaryDirectory() as seeded:
