@@ -9,9 +9,12 @@
 //   --json PATH   write machine-readable results (the BENCH_*.json perf
 //                 trajectory format: one object with a flat metric list)
 //   --graph PATH  replace the synthetic datasets with a real graph file
-//                 (text edge list or .grwb binary snapshot, auto-detected;
-//                 convert once with `grw convert` so repeated bench runs
-//                 mmap the CSR instead of re-parsing text)
+//                 (text edge list or .grwb binary snapshot, auto-detected
+//                 via GraphSource::Open; convert once with `grw convert`
+//                 so repeated bench runs mmap the CSR instead of
+//                 re-parsing text). Sharded manifests are rejected here —
+//                 the table harnesses need the whole graph resident; use
+//                 bench/bench_sharded.cpp for out-of-core measurements.
 //   --no-index    skip attaching the AdjacencyIndex to loaded graphs
 //                 (results are bit-identical either way; only speed moves)
 
@@ -20,14 +23,15 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "eval/datasets.h"
 #include "eval/ground_truth.h"
 #include "graph/adjacency.h"
-#include "graph/format.h"
 #include "graph/graph.h"
+#include "graph/source.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -54,7 +58,16 @@ inline std::vector<BenchGraph> LoadBenchGraphs(const Flags& flags,
   if (!path.empty()) {
     BenchGraph bg;
     bg.name = path;
-    bg.graph = LoadGraph(path);
+    OpenOptions open;
+    open.build_index = false;  // attached below, under --no-index control
+    GraphSource source = GraphSource::Open(path, open);
+    if (source.sharded()) {
+      throw std::runtime_error(
+          "--graph " + path +
+          " is a sharded manifest; the table harnesses need the whole "
+          "graph resident — use bench_sharded for out-of-core runs");
+    }
+    bg.graph = source.graph();
     if (attach_index) bg.graph.BuildAdjacencyIndex();
     // Real files get a key derived from their shape.
     bg.cache_key = "file_n" + std::to_string(bg.graph.NumNodes()) + "_m" +

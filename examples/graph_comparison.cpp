@@ -19,7 +19,7 @@
 #include "eval/datasets.h"
 #include "eval/similarity.h"
 #include "graph/generators.h"
-#include "graph/format.h"
+#include "graph/source.h"
 #include "graphlet/catalog.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::string unknown_name;
   if (flags.Has("graph")) {
     unknown_name = flags.GetString("graph", "");
-    unknown = grw::LoadGraph(unknown_name);
+    unknown = grw::GraphSource::Open(unknown_name).graph();
   } else {
     unknown_name = "mystery (Holme-Kim, clustered)";
     grw::Rng rng(0xabcdef);

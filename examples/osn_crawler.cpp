@@ -20,7 +20,7 @@
 #include "eval/datasets.h"
 #include "exact/triangle.h"
 #include "graph/access.h"
-#include "graph/format.h"
+#include "graph/source.h"
 #include "graphlet/catalog.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   grw::Graph graph;
   const std::string path = flags.GetString("graph", "");
   if (!path.empty()) {
-    graph = grw::LoadGraph(path);
+    graph = grw::GraphSource::Open(path).graph();
   } else {
     graph = grw::MakeDatasetByName("flickr-sim", 0.5);
   }

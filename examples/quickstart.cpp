@@ -14,7 +14,7 @@
 #include "core/paper_ids.h"
 #include "eval/datasets.h"
 #include "exact/exact.h"
-#include "graph/format.h"
+#include "graph/source.h"
 #include "graphlet/catalog.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   grw::Graph graph;
   const std::string path = flags.GetString("graph", "");
   if (!path.empty()) {
-    graph = grw::LoadGraph(path);  // edge list or .grwb, auto-detected
+    graph = grw::GraphSource::Open(path).graph();  // format auto-detected
   } else {
     graph = grw::MakeDatasetByName("brightkite-sim");
   }

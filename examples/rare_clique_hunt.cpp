@@ -17,7 +17,7 @@
 #include "core/paper_ids.h"
 #include "eval/datasets.h"
 #include "eval/ground_truth.h"
-#include "graph/format.h"
+#include "graph/source.h"
 #include "graphlet/catalog.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   grw::Graph graph;
   std::string cache_key;
   if (flags.Has("graph")) {
-    graph = grw::LoadGraph(flags.GetString("graph", ""));
+    graph = grw::GraphSource::Open(flags.GetString("graph", "")).graph();
     cache_key = "file_n" + std::to_string(graph.NumNodes()) + "_m" +
                 std::to_string(graph.NumEdges());
   } else {

@@ -7,6 +7,7 @@
 #include "core/alpha.h"
 #include "core/rsize.h"
 #include "graph/access.h"
+#include "graph/sharded_access.h"
 #include "walk/edge_walk.h"
 #include "walk/node_walk.h"
 #include "walk/subgraph_walk.h"
@@ -85,6 +86,10 @@ template double WindowSampleWeight<CrawlAccess>(
     const CrawlAccess&, const EstimatorConfig&, int, const CssTable*,
     const std::vector<int64_t>&, const SampleWindowT<CrawlAccess>&,
     const MaskInfo&, GdScratch&);
+template double WindowSampleWeight<ShardedAccess>(
+    const ShardedAccess&, const EstimatorConfig&, int, const CssTable*,
+    const std::vector<int64_t>&, const SampleWindowT<ShardedAccess>&,
+    const MaskInfo&, GdScratch&);
 
 template <class G>
 GraphletEstimatorT<G>::GraphletEstimatorT(const G& g,
@@ -105,6 +110,15 @@ GraphletEstimatorT<G>::GraphletEstimatorT(const G& g,
 }
 
 template <class G>
+void GraphletEstimatorT<G>::SetStartRange(VertexId lo, VertexId hi) {
+  if (lo >= hi || hi > g_->NumNodes()) {
+    throw std::invalid_argument("SetStartRange: need lo < hi <= NumNodes()");
+  }
+  start_lo_ = lo;
+  start_hi_ = hi;
+}
+
+template <class G>
 void GraphletEstimatorT<G>::Reset(uint64_t seed) {
   rng_.Seed(seed);
   std::fill(weights_.begin(), weights_.end(), 0.0);
@@ -112,7 +126,11 @@ void GraphletEstimatorT<G>::Reset(uint64_t seed) {
   steps_ = 0;
   valid_samples_ = 0;
 
-  walker_->Reset(rng_);
+  if (start_lo_ < start_hi_) {
+    walker_->ResetInRange(rng_, start_lo_, start_hi_);
+  } else {
+    walker_->Reset(rng_);
+  }
   window_.Clear();
   window_.Push(walker_->Nodes(), 0);
   // Fill the window: l states need l-1 transitions (Algorithm 1 line 3).
@@ -261,8 +279,10 @@ EstimateResult GraphletEstimatorT<G>::Estimate(const G& g,
   return estimator.Result();
 }
 
-// Closed policy family (graph/access.h): full access + crawl access.
+// Closed policy family (graph/access.h + graph/sharded_access.h): full
+// access, crawl access, sharded access.
 template class GraphletEstimatorT<Graph>;
 template class GraphletEstimatorT<CrawlAccess>;
+template class GraphletEstimatorT<ShardedAccess>;
 
 }  // namespace grw

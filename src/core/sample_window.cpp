@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/access.h"
+#include "graph/sharded_access.h"
 
 namespace grw {
 
@@ -103,8 +104,10 @@ uint32_t SampleWindowT<G>::MaskNaive() const {
   return mask;
 }
 
-// Closed policy family (graph/access.h): full access + crawl access.
+// Closed policy family (graph/access.h + graph/sharded_access.h): full
+// access, crawl access, sharded access.
 template class SampleWindowT<Graph>;
 template class SampleWindowT<CrawlAccess>;
+template class SampleWindowT<ShardedAccess>;
 
 }  // namespace grw

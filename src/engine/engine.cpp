@@ -148,6 +148,31 @@ class BatchedCrawlSingleSizeChain final : public EngineChain {
   std::unique_ptr<BatchedEstimatorT<CrawlAccess>> estimator_;
 };
 
+// One out-of-core chain: a private ShardedAccess pin cache over the
+// shared ShardStore, driving the same estimator code through static
+// dispatch. With locality seeding the chain's Reset anchors the walk in
+// its affinity shard's vertex range.
+class ShardedSingleSizeChain final : public EngineChain {
+ public:
+  ShardedSingleSizeChain(const ShardStore& store,
+                         const EstimatorConfig& config)
+      : access_(store), estimator_(access_, config) {}
+  void SetStartRange(VertexId lo, VertexId hi) {
+    estimator_.SetStartRange(lo, hi);
+  }
+  void Reset(uint64_t base_seed, uint64_t first_stream) override {
+    estimator_.Reset(DeriveSeed(base_seed, first_stream));
+  }
+  void Run(uint64_t steps) override { estimator_.Run(steps); }
+  void Snapshot(int, std::vector<EstimateResult>* out) const override {
+    out->assign(1, estimator_.Result());
+  }
+
+ private:
+  ShardedAccess access_;
+  GraphletEstimatorT<ShardedAccess> estimator_;
+};
+
 class MultiSizeChain final : public EngineChain {
  public:
   MultiSizeChain(const Graph& g, int d, const std::vector<int>& sizes,
@@ -418,7 +443,77 @@ EstimationEngine::EstimationEngine(const Graph& g,
   }
 }
 
+EstimationEngine::EstimationEngine(const ShardStore& store,
+                                   const EstimatorConfig& config,
+                                   EngineOptions options)
+    : store_(&store), config_(config), options_(std::move(options)) {
+  if (options_.chains < 0) {
+    throw std::invalid_argument("EstimationEngine: chains must be >= 0");
+  }
+  if (options_.crawl.enabled) {
+    throw std::invalid_argument(
+        "EstimationEngine: crawl mode does not compose with sharded "
+        "storage (the crawl cache simulates remote-API access over one "
+        "flat graph)");
+  }
+  if (options_.batch.enabled) {
+    throw std::invalid_argument(
+        "EstimationEngine: batch mode needs a monolithic CSR; run "
+        "sharded graphs with the scalar kernels");
+  }
+  if (options_.chains > 0) {
+    // Same eager validation as the monolithic constructor; constructing
+    // the estimator reads only sizes, no shard payloads.
+    const ShardedAccess probe_access(store);
+    const GraphletEstimatorT<ShardedAccess> probe(probe_access, config_);
+    (void)probe;
+  }
+}
+
+EngineResult EstimationEngine::RunSharded() {
+  const ShardStore& store = *store_;
+  const EstimatorConfig& config = config_;
+  const int chains = options_.chains;
+  const uint32_t num_shards = store.NumShards();
+
+  LoopOutput loop = RunLoop(
+      1, options_, 1,
+      [&](int first, int) -> std::unique_ptr<EngineChain> {
+        auto chain = std::make_unique<ShardedSingleSizeChain>(store, config);
+        if (options_.sharded.locality_seeding) {
+          // Contiguous chain blocks per shard: chain c's affinity shard
+          // is floor(c * S / C) — a function of the global chain index
+          // alone, so the assignment (and with it the RNG consumption)
+          // is identical at any thread count.
+          const uint32_t s = static_cast<uint32_t>(
+              (static_cast<uint64_t>(first) * num_shards) /
+              static_cast<uint64_t>(chains));
+          const auto [lo, hi] = store.ShardRange(s);
+          chain->SetStartRange(lo, hi);
+        }
+        return chain;
+      });
+
+  EngineResult result;
+  result.merged = std::move(loop.merged[0]);
+  result.per_chain.reserve(loop.per_chain.size());
+  for (auto& streams : loop.per_chain) {
+    if (!streams.empty()) result.per_chain.push_back(std::move(streams[0]));
+  }
+  result.standard_errors = std::move(loop.standard_errors[0]);
+  result.max_rel_error = loop.max_rel_error;
+  result.converged = loop.converged;
+  result.cancelled = loop.cancelled;
+  result.rounds = loop.rounds;
+  result.steps_per_chain = loop.steps_per_chain;
+  result.seconds = loop.seconds;
+  result.steps_per_second = loop.steps_per_second;
+  result.shards = store.stats();
+  return result;
+}
+
 EngineResult EstimationEngine::Run() {
+  if (store_ != nullptr) return RunSharded();
   const Graph& g = *g_;
   const EstimatorConfig& config = config_;
   const EngineOptions::CrawlConfig& crawl = options_.crawl;

@@ -37,6 +37,7 @@
 #include "engine/chain_pool.h"
 #include "graph/access.h"
 #include "graph/graph.h"
+#include "graph/sharded_access.h"
 
 namespace grw {
 
@@ -137,6 +138,24 @@ struct EngineOptions {
   };
   BatchConfig batch;
 
+  /// Sharded out-of-core mode (the ShardStore engine constructor): every
+  /// chain reads through its own ShardedAccess over the shared store.
+  /// Estimates are bit-identical to a full-access run on the same graph
+  /// at any resident budget and thread count — unless locality seeding
+  /// is turned on, which trades that for fewer cross-shard faults.
+  struct ShardedConfig {
+    /// Anchor chain c's initial state in the vertex range of its
+    /// affinity shard floor(c * num_shards / chains) — contiguous chain
+    /// blocks per shard, so a budget-bound run starts with disjoint
+    /// working sets instead of every chain faulting every shard at once.
+    /// Changes the initial distribution only (still asymptotically
+    /// unbiased, see StateWalker::ResetInRange) but NOT bit-identical to
+    /// the default seeding — hence opt-in, and the CI identity gate runs
+    /// with it off.
+    bool locality_seeding = false;
+  };
+  ShardedConfig sharded;
+
   /// Invoked after every round with a progress snapshot.
   std::function<void(const EngineProgress&)> on_progress;
 
@@ -187,6 +206,10 @@ struct EngineResult {
   /// chain order), and the per-chain breakdown. Empty/zero otherwise.
   CrawlStats access;
   std::vector<CrawlStats> per_chain_access;
+  /// Sharded mode only: the store's residency accounting at the end of
+  /// the run (faults, hits, evictions, peak resident bytes). All-zero
+  /// otherwise.
+  ShardStats shards;
   int rounds = 0;
   /// Lockstep schedule position at the stop (budget-stalled chains may
   /// have taken fewer transitions; merged.steps is the actual total).
@@ -204,6 +227,14 @@ class EstimationEngine {
   EstimationEngine(const Graph& g, const EstimatorConfig& config,
                    EngineOptions options);
 
+  /// Sharded out-of-core run: chains read through per-chain
+  /// ShardedAccess over `store` (which must outlive the engine).
+  /// Crawl and batch modes do not compose with sharded storage — the
+  /// crawl cache simulates remote-API access and the batched kernels
+  /// want one flat CSR — so either throws std::invalid_argument here.
+  EstimationEngine(const ShardStore& store, const EstimatorConfig& config,
+                   EngineOptions options);
+
   /// Executes the chains (round by round when convergence checking or
   /// progress reporting is enabled) and returns the merged outcome.
   EngineResult Run();
@@ -212,7 +243,10 @@ class EstimationEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
-  const Graph* g_;
+  EngineResult RunSharded();
+
+  const Graph* g_ = nullptr;            // full-access / crawl modes
+  const ShardStore* store_ = nullptr;   // sharded mode
   EstimatorConfig config_;
   EngineOptions options_;
 };

@@ -98,6 +98,14 @@ void SaveGraphBinary(const Graph& g, const std::string& path,
 /// path and the failed check.
 Graph LoadGraphBinary(const std::string& path, bool verify_checksum = false);
 
+/// DEPRECATION NOTE: LoadGraphBinary and LoadGraph below predate the
+/// unified open API and survive as thin compatibility entry points —
+/// GraphSource::Open (graph/source.h) is the one loader that also
+/// understands sharded manifests and carries the index/verify/relabel/
+/// budget knobs in one options struct. New call sites must go through
+/// GraphSource (the `graphsource-open` lint rule rejects fresh direct
+/// LoadGraphBinary calls outside it).
+
 /// Reads and validates only the header. Throws like LoadGraphBinary.
 GrwbInfo InspectGraphBinary(const std::string& path);
 

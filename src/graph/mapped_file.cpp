@@ -44,6 +44,13 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   return *this;
 }
 
+void MappedFile::DropPages() const {
+  if (data_ == nullptr || size_ == 0) return;
+  // Best effort: a refusal just means the pages age out under normal
+  // memory pressure instead of immediately.
+  (void)::madvise(const_cast<unsigned char*>(data_), size_, MADV_DONTNEED);
+}
+
 MappedFile MappedFile::Open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) ThrowErrno("cannot open", path);

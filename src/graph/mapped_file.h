@@ -35,6 +35,16 @@ class MappedFile {
   const unsigned char* data() const { return data_; }
   size_t size() const { return size_; }
 
+  /// Advises the kernel to drop this mapping's resident pages
+  /// (madvise(MADV_DONTNEED)). The mapping stays valid: read-only
+  /// file-backed pages refault from disk on the next touch, so this
+  /// trades latency for memory — never correctness. Best effort (some
+  /// kernels/filesystems refuse; failures are ignored). The residency
+  /// layer (graph/sharded_access.h) calls it on shard eviction so the
+  /// process's resident set actually shrinks instead of waiting for
+  /// memory pressure.
+  void DropPages() const;
+
  private:
   const unsigned char* data_ = nullptr;
   size_t size_ = 0;

@@ -1,0 +1,113 @@
+#include "graph/sharded_access.h"
+
+#include <utility>
+
+namespace grw {
+
+ShardStore::ShardStore(ShardManifest manifest, const Options& options)
+    : manifest_(std::move(manifest)), options_(options) {
+  const uint32_t shards = manifest_.NumShards();
+  // Catch missing files, torn shards and stale manifests at open time —
+  // the store's analogue of the monolithic loader's eager header
+  // validation — instead of minutes into a walk. The probe mappings are
+  // dropped immediately: the store starts with nothing resident.
+  for (uint32_t s = 0; s < shards; ++s) {
+    (void)MapShard(manifest_, s, options_.verify_on_fault);
+  }
+  MutexLock lock(mu_);
+  resident_.assign(shards, nullptr);
+  prev_.assign(shards, kNone);
+  next_.assign(shards, kNone);
+  stats_.budget_bytes = options_.resident_budget_bytes;
+}
+
+std::shared_ptr<const MappedShard> ShardStore::Acquire(uint32_t s) const {
+  MutexLock lock(mu_);
+  if (resident_[s] != nullptr) {
+    ++stats_.hits;
+    if (head_ != s) {
+      // Unlink, push front (MRU).
+      const uint32_t p = prev_[s];
+      const uint32_t n = next_[s];
+      if (p != kNone) next_[p] = n; else head_ = n;
+      if (n != kNone) prev_[n] = p; else tail_ = p;
+      prev_[s] = kNone;
+      next_[s] = head_;
+      if (head_ != kNone) prev_[head_] = s; else tail_ = s;
+      head_ = s;
+    }
+    return resident_[s];
+  }
+
+  // Fault: map under the lock. The mmap + header check is microseconds;
+  // the expensive part — actual page-ins — happens lazily on the
+  // caller's reads, outside any lock. Holding mu_ keeps the accounting
+  // exact (two chains faulting the same shard resolve to one mapping).
+  auto shard = std::make_shared<const MappedShard>(
+      MapShard(manifest_, s, options_.verify_on_fault));
+  ++stats_.faults;
+  stats_.resident_bytes += shard->bytes();
+  ++stats_.resident_shards;
+  resident_[s] = shard;
+  prev_[s] = kNone;
+  next_[s] = head_;
+  if (head_ != kNone) prev_[head_] = s; else tail_ = s;
+  head_ = s;
+  EvictOverBudgetLocked(s);
+  // Peak is sampled *after* eviction: a fresh mmap has no pages
+  // faulted in yet, and the victim's pages are dropped before the
+  // caller touches the new shard, so the pre-eviction sum was never
+  // real memory.
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  return shard;
+}
+
+void ShardStore::EvictOverBudgetLocked(uint32_t keep) const {
+  const uint64_t budget = options_.resident_budget_bytes;
+  if (budget == 0) return;
+  // Evict from the LRU tail until within budget — but never the shard
+  // just acquired, even if it alone exceeds the budget (the walk must
+  // be able to read *something*; the effective floor is one shard).
+  while (stats_.resident_bytes > budget && tail_ != kNone) {
+    uint32_t victim = tail_;
+    if (victim == keep) {
+      victim = prev_[victim];
+      if (victim == kNone) break;  // only the kept shard remains
+    }
+    const uint32_t p = prev_[victim];
+    const uint32_t n = next_[victim];
+    if (p != kNone) next_[p] = n; else head_ = n;
+    if (n != kNone) prev_[n] = p; else tail_ = p;
+    prev_[victim] = kNone;
+    next_[victim] = kNone;
+    // Drop the pages before releasing the reference: if no chain holds
+    // a pin the memory is returned to the kernel right now; if one
+    // does, its reads refault from disk — latency, never corruption.
+    resident_[victim]->DropPages();
+    stats_.resident_bytes -= resident_[victim]->bytes();
+    --stats_.resident_shards;
+    ++stats_.evictions;
+    resident_[victim] = nullptr;
+  }
+}
+
+bool ShardStore::Resident(uint32_t s) const {
+  MutexLock lock(mu_);
+  return resident_[s] != nullptr;
+}
+
+ShardStats ShardStore::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+const MappedShard& ShardedAccess::Miss(VertexId v) const {
+  std::shared_ptr<const MappedShard> shard =
+      store_->Acquire(store_->ShardOf(v));
+  for (int j = kPins - 1; j > 0; --j) pins_[j] = std::move(pins_[j - 1]);
+  pins_[0] = std::move(shard);
+  return *pins_[0];
+}
+
+}  // namespace grw

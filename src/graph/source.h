@@ -1,0 +1,133 @@
+// GraphSource: the ONE way to open a graph, whatever is on disk.
+//
+// Before this existed the codebase had three divergent open paths — the
+// CLI's LoadGraph, the serve registry's inline snapshot logic, and the
+// bench harness's LoadBenchGraphs — each with its own flag plumbing and
+// none aware of more than one storage layout. GraphSource::Open collapses
+// them: it sniffs the path and dispatches to
+//
+//   text edge list       -> LoadEdgeList (optionally largest CC,
+//                           optionally degree-relabeled) — an in-memory
+//                           Graph;
+//   monolithic `.grwb`   -> LoadGraphBinary — a zero-copy mmap'd Graph;
+//   sharded manifest     -> LoadShardManifest + a ShardStore under the
+//      (file or its dir)    requested resident-byte budget — an
+//                           out-of-core graph served shard by shard.
+//
+// The first two kinds expose a Graph (graph()); the sharded kind exposes
+// a ShardStore (shards()) that the engine drives through ShardedAccess.
+// kind() says which; call sites that cannot serve out-of-core graphs
+// reject sharded() sources with their own message instead of crashing.
+//
+// GraphSource is a cheap value: copies share the underlying mapping /
+// store (shared_ptr), exactly like copying a Graph. Corruption anywhere
+// — monolithic or per shard — throws the same typed SnapshotCorruptError
+// with a path-qualified message, so quarantine call sites (grw_serve)
+// handle every layout with one catch.
+//
+// LoadGraph / LoadGraphBinary remain as thin deprecated aliases for the
+// monolithic kinds; new call sites must come through here
+// (tools/lint_invariants.py bans fresh direct LoadGraphBinary calls).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/sharded_access.h"
+#include "graph/sharding.h"
+
+namespace grw {
+
+enum class GraphSourceKind {
+  kText,     // parsed edge list, in-memory CSR
+  kBinary,   // monolithic .grwb, zero-copy mmap
+  kSharded,  // manifest + shard files, budget-driven residency
+};
+
+/// Knobs of GraphSource::Open. Fields apply to the kinds noted; the rest
+/// ignore them, so one options struct can serve a path of unknown kind.
+struct OpenOptions {
+  /// Build and attach the AdjacencyIndex (O(1)-ish HasEdge). Monolithic
+  /// kinds only: a sharded graph has no global CSR to index, its HasEdge
+  /// is the per-shard binary search.
+  bool build_index = true;
+  /// Full payload validation: data checksum + structural scan for
+  /// `.grwb`, per-shard checksums + scans for sharded. Costs a full read
+  /// of every byte — for untrusted files and registration paths.
+  bool verify = false;
+  /// Text kind only: restrict to the largest connected component (the
+  /// walk theory assumes a connected graph). Snapshots were simplified
+  /// at convert time.
+  bool largest_cc = true;
+  /// Text kind only: relabel nodes in degree-descending order (improves
+  /// walk locality and the adjacency index's hub tier). Snapshot kinds
+  /// carry their relabel flag from convert time instead.
+  bool relabel_degree = false;
+  /// Sharded kind only: resident-byte budget for the shard LRU
+  /// (ShardStore::Options); 0 = unbounded.
+  uint64_t resident_budget_bytes = 0;
+  /// Sharded kind only: re-verify shard payloads on every fault, not
+  /// just at open (ShardStore::Options::verify_on_fault).
+  bool verify_on_fault = false;
+};
+
+/// An opened graph of any storage kind. Cheap to copy; copies share the
+/// backing (mapping, store, index).
+class GraphSource {
+ public:
+  GraphSource() = default;
+
+  /// Opens `path`, auto-detecting the kind: a directory or a file with
+  /// the manifest magic is sharded, the `.grwb` magic is monolithic
+  /// binary, anything else parses as a text edge list. Throws
+  /// SnapshotCorruptError for corrupt snapshots/shards (quarantineable),
+  /// std::runtime_error for plain I/O failures.
+  static GraphSource Open(const std::string& path,
+                          const OpenOptions& options = {});
+
+  /// Wraps an already-built in-memory graph (datasets, generators,
+  /// tests) so registry/engine plumbing can stay kind-agnostic.
+  static GraphSource FromGraph(Graph g, const std::string& label = "<memory>");
+
+  GraphSourceKind kind() const { return kind_; }
+  bool sharded() const { return kind_ == GraphSourceKind::kSharded; }
+
+  /// The resident graph. Throws std::logic_error for sharded sources —
+  /// there is deliberately no "load it all anyway" escape hatch here;
+  /// out-of-core callers go through shards().
+  const Graph& graph() const;
+
+  /// The shard store (sharded kind only; std::logic_error otherwise).
+  const ShardStore& shards() const;
+
+  VertexId NumNodes() const;
+  uint64_t NumEdges() const;
+
+  /// Content identity: the snapshot's data checksum (`.grwb` header),
+  /// the manifest's shard-table checksum (sharded), or 0 (text /
+  /// in-memory — parsed content has no stored checksum). The serve
+  /// registry keys resident sharing on (path, checksum).
+  uint64_t content_checksum() const { return checksum_; }
+
+  /// True when the stored graph was degree-relabeled at convert time.
+  bool degree_relabeled() const { return relabeled_; }
+
+  /// The path given to Open (or the FromGraph label).
+  const std::string& path() const { return path_; }
+
+  /// One-line summary, e.g. "n=75879 m=405740 kind=sharded shards=8".
+  std::string Summary() const;
+
+ private:
+  GraphSourceKind kind_ = GraphSourceKind::kText;
+  std::string path_;
+  uint64_t checksum_ = 0;
+  bool relabeled_ = false;
+  Graph graph_;                        // text/binary kinds
+  std::shared_ptr<ShardStore> store_;  // sharded kind
+};
+
+}  // namespace grw

@@ -33,6 +33,27 @@ ParsedRequest Fail(std::string error) {
   return out;
 }
 
+// Every response object leads with the protocol version so clients can
+// gate their parsing on the very first field.
+std::string ResponseHead() {
+  return "{\"v\": " + std::to_string(kProtocolVersion);
+}
+
+// Validates a `v=` field value (any verb). Empty return = accepted; a
+// v-less request never reaches here and means v=1 (legacy dialect).
+std::string CheckVersion(const std::string& value) {
+  const std::optional<int64_t> v = ParseInt64(value);
+  if (!v.has_value()) {
+    return "field v: invalid integer '" + value + "'";
+  }
+  if (*v < 1 || *v > kProtocolVersion) {
+    return "unsupported protocol version v=" + value +
+           " (this server speaks v=" + std::to_string(kProtocolVersion) +
+           ")";
+  }
+  return {};
+}
+
 // Field accumulator with CLI-identical default resolution at the end.
 struct EstimateFields {
   EstimateRequest req;
@@ -64,7 +85,9 @@ struct EstimateFields {
     };
     std::string err;
     int64_t n = 0;
-    if (key == "graph") {
+    if (key == "v") {
+      return CheckVersion(value);
+    } else if (key == "graph") {
       if (value.empty()) return "field graph: empty id";
       req.graph = value;
     } else if (key == "k") {
@@ -166,8 +189,22 @@ ParsedRequest ParseRequestLine(std::string_view line,
   ParsedRequest out;
   const std::string& verb = tokens[0];
   if (verb == "PING" || verb == "LIST") {
-    if (tokens.size() > 1) {
-      return Fail("verb " + verb + " takes no fields");
+    // The only field these verbs take is the protocol version; anything
+    // else is rejected by name, so a typo'd or future-protocol request
+    // fails loudly instead of being silently ignored.
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& token = tokens[i];
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Fail("malformed field '" + token + "' (expected key=value)");
+      }
+      const std::string key = token.substr(0, eq);
+      if (key != "v") {
+        return Fail("unknown field '" + key + "' (verb " + verb +
+                    " takes only v=)");
+      }
+      std::string err = CheckVersion(token.substr(eq + 1));
+      if (!err.empty()) return Fail(std::move(err));
     }
     out.request = Request{};
     out.request->verb =
@@ -222,7 +259,7 @@ EngineOptions ToEngineOptions(const EstimateRequest& req) {
 }
 
 std::string ErrorResponse(std::string_view error) {
-  std::string out = "{\"ok\": false, \"error\": ";
+  std::string out = ResponseHead() + ", \"ok\": false, \"error\": ";
   out += JsonQuote(error);
   out += "}";
   return out;
@@ -230,7 +267,7 @@ std::string ErrorResponse(std::string_view error) {
 
 std::string OverloadedResponse(std::string_view error,
                                double retry_after_ms) {
-  std::string out = "{\"ok\": false, \"error\": ";
+  std::string out = ResponseHead() + ", \"ok\": false, \"error\": ";
   out += JsonQuote(error);
   out += ", \"code\": ";
   out += JsonQuote(kErrorCodeRetryAfter);
@@ -240,11 +277,19 @@ std::string OverloadedResponse(std::string_view error,
   return out;
 }
 
-std::string PingResponse() { return "{\"ok\": true, \"pong\": true}"; }
+std::string PingResponse(const RequestLimits& limits) {
+  std::string out = ResponseHead() + ", \"ok\": true, \"pong\": true";
+  out += ", \"capabilities\": {\"batch\": true, \"crawl\": true, "
+         "\"sharded\": true}";
+  out += ", \"limits\": {\"max_steps\": " +
+         std::to_string(limits.max_steps) +
+         ", \"max_chains\": " + std::to_string(limits.max_chains) + "}}";
+  return out;
+}
 
 std::string EstimateResponse(const EstimateRequest& req,
                              const EngineResult& result) {
-  std::string out = "{\"ok\": true";
+  std::string out = ResponseHead() + ", \"ok\": true";
   out += ", \"graph\": " + JsonQuote(req.graph);
   out += ", \"method\": " + JsonQuote(req.config.Name());
   out += ", \"k\": " + std::to_string(req.config.k);
@@ -266,6 +311,19 @@ std::string EstimateResponse(const EstimateRequest& req,
            std::to_string(result.access.distinct_fetches);
     out += ", \"fetches\": " + std::to_string(result.access.fetches);
   }
+  if (result.shards.faults + result.shards.hits > 0) {
+    // Sharded (out-of-core) graph: surface the residency accounting so
+    // a client can see what its resident budget cost.
+    out += ", \"shards\": {\"faults\": " +
+           std::to_string(result.shards.faults);
+    out += ", \"hits\": " + std::to_string(result.shards.hits);
+    out += ", \"evictions\": " + std::to_string(result.shards.evictions);
+    out += ", \"peak_resident_bytes\": " +
+           std::to_string(result.shards.peak_resident_bytes);
+    out += ", \"budget_bytes\": " +
+           std::to_string(result.shards.budget_bytes);
+    out += "}";
+  }
   // Paper order, like every table the CLI prints. An empty merged result
   // (zero completed rounds before a deadline) yields empty arrays.
   const std::vector<int>& order = PaperOrder(req.config.k);
@@ -286,7 +344,7 @@ std::string EstimateResponse(const EstimateRequest& req,
 }
 
 std::string ListResponse(const std::vector<GraphListEntry>& graphs) {
-  std::string out = "{\"ok\": true, \"graphs\": [";
+  std::string out = ResponseHead() + ", \"ok\": true, \"graphs\": [";
   for (size_t i = 0; i < graphs.size(); ++i) {
     if (i > 0) out += ", ";
     out += "{\"id\": " + JsonQuote(graphs[i].id);

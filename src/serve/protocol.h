@@ -3,11 +3,21 @@
 // Line-oriented and human-typeable: a client sends one request per line
 // and receives one single-line JSON object per request, in order.
 //
-//   PING
-//   LIST
-//   ESTIMATE graph=<id> k=<3..6> [d=D] [css=0|1] [nb=0|1] [steps=N]
+//   PING [v=1]
+//   LIST [v=1]
+//   ESTIMATE graph=<id> k=<3..6> [v=1] [d=D] [css=0|1] [nb=0|1] [steps=N]
 //            [target_nrmse=X] [seed=S] [chains=C] [crawl=0|1]
 //            [budget=B] [cache=C] [deadline_ms=MS] [tenant=NAME]
+//
+// The protocol is VERSIONED: every request may carry `v=N` (any verb) and
+// every response object leads with `"v": 1`. A v-less request is the
+// legacy dialect and means v=1 — old clients keep working unchanged; a
+// request with v above kProtocolVersion is rejected with a structured
+// error naming the supported version, so a new client talking to an old
+// server fails loudly at the first exchange instead of misparsing
+// replies. PING doubles as capability discovery: its response lists the
+// server's optional features (batch, crawl, sharded) and its request
+// limits, so clients can feature-gate without try-and-see.
 //
 // Field semantics and *defaults* mirror `grw estimate` exactly — d
 // defaults to (k == 3 ? 1 : 2), css to (d <= 2), nb to (k == 3), steps to
@@ -40,6 +50,10 @@
 #include "engine/engine.h"
 
 namespace grw::serve {
+
+/// The wire protocol version this build speaks. Bump only for changes an
+/// old client could misparse; additive response fields do not count.
+inline constexpr int kProtocolVersion = 1;
 
 /// Server-side caps applied at parse time. Requests beyond them are
 /// rejected with an error response (admission control for resources the
@@ -93,9 +107,14 @@ ParsedRequest ParseRequestLine(std::string_view line,
 /// the merged estimate of a completed run. The caller wires pool/cancel.
 EngineOptions ToEngineOptions(const EstimateRequest& req);
 
-/// Response lines (all single-line JSON objects, no trailing newline).
+/// Response lines (all single-line JSON objects, no trailing newline,
+/// each leading with `"v": kProtocolVersion`).
 std::string ErrorResponse(std::string_view error);
-std::string PingResponse();
+
+/// Capability discovery: `{"v":1,"ok":true,"pong":true,"capabilities":
+/// {"batch":true,"crawl":true,"sharded":true},"limits":{...}}` echoing
+/// the server's request limits.
+std::string PingResponse(const RequestLimits& limits);
 
 /// Machine-readable error code for load shedding: clients that see
 /// `"code": "RETRY_AFTER"` should back off `retry_after_ms` and resend —

@@ -1,10 +1,30 @@
 #include "serve/registry.h"
 
 #include "graph/format.h"
+#include "graph/sharding.h"
 
 namespace grw::serve {
 
-const Graph* SnapshotRegistry::FindResidentLocked(
+namespace {
+
+// Content identity BEFORE the (possibly expensive) load: one header read
+// for `.grwb`, one manifest read for sharded, empty for text (parsed
+// content has no stored checksum and is never shared by key).
+std::string ContentKey(const std::string& path) {
+  if (IsShardManifestPath(path)) {
+    const uint64_t checksum = ShardContentChecksum(LoadShardManifest(path));
+    return path + '\0' + std::to_string(checksum);
+  }
+  if (IsGraphBinaryFile(path)) {
+    const uint64_t checksum = InspectGraphBinary(path).data_checksum;
+    return path + '\0' + std::to_string(checksum);
+  }
+  return {};
+}
+
+}  // namespace
+
+const GraphSource* SnapshotRegistry::FindResidentLocked(
     const std::string& content_key) const {
   auto it = by_content_.find(content_key);
   return it != by_content_.end() ? &it->second : nullptr;
@@ -12,74 +32,71 @@ const Graph* SnapshotRegistry::FindResidentLocked(
 
 void SnapshotRegistry::Register(const std::string& id,
                                 const std::string& path, bool build_index,
-                                bool verify) {
-  Entry entry;
-  entry.path = path;
-
-  const bool is_binary = IsGraphBinaryFile(path);
-  std::string content_key;
-  if (is_binary) {
-    // One header read gives the content identity before we decide
-    // whether a resident mapping can be reused.
-    entry.checksum = InspectGraphBinary(path).data_checksum;
-    content_key = path + '\0' + std::to_string(entry.checksum);
-  }
+                                bool verify,
+                                uint64_t resident_budget_bytes) {
+  const std::string content_key = ContentKey(path);
 
   {
     MutexLock lock(mu_);
     if (!content_key.empty()) {
-      if (const Graph* resident = FindResidentLocked(content_key)) {
-        entry.graph = *resident;  // shares mapping + warm index
-        entries_[id] = std::move(entry);
+      if (const GraphSource* resident = FindResidentLocked(content_key)) {
+        entries_[id] = *resident;  // shares mapping/store + warm index
         return;
       }
     }
   }
 
-  // Load outside the lock: mmap is fast but text parsing is not, and a
-  // slow registration must not block lookups. Two threads racing to
-  // register the same content both load; the second insert below merely
-  // replaces an identical resident graph — wasted work, never a wrong
-  // answer. Binary snapshots are checksum-verified here (see header)
-  // so corruption surfaces as SnapshotCorruptError at registration, not
-  // as garbage estimates at query time.
-  Graph g = is_binary ? LoadGraphBinary(path, /*verify_checksum=*/verify)
-                      : LoadGraph(path);
-  if (build_index) g.BuildAdjacencyIndex();
-  entry.graph = std::move(g);
+  // Load outside the lock: mmap is fast but text parsing, verification
+  // and index builds are not, and a slow registration must not block
+  // lookups. Two threads racing to register the same content both load;
+  // the second insert below merely replaces an identical resident source
+  // — wasted work, never a wrong answer. Payloads are verified here (see
+  // header) so corruption surfaces as SnapshotCorruptError at
+  // registration, not as garbage estimates at query time.
+  OpenOptions options;
+  options.build_index = build_index;
+  options.verify = verify;
+  options.resident_budget_bytes = resident_budget_bytes;
+  GraphSource source = GraphSource::Open(path, options);
 
   MutexLock lock(mu_);
-  if (!content_key.empty()) by_content_[content_key] = entry.graph;
-  entries_[id] = std::move(entry);
+  if (!content_key.empty()) by_content_[content_key] = source;
+  entries_[id] = std::move(source);
 }
 
 void SnapshotRegistry::RegisterGraph(const std::string& id, Graph graph,
                                      const std::string& label) {
-  Entry entry;
-  entry.path = label;
-  entry.graph = std::move(graph);
+  GraphSource source = GraphSource::FromGraph(std::move(graph), label);
   MutexLock lock(mu_);
-  entries_[id] = std::move(entry);
+  entries_[id] = std::move(source);
+}
+
+std::optional<GraphSource> SnapshotRegistry::FindSource(
+    const std::string& id) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<Graph> SnapshotRegistry::Find(const std::string& id) const {
   MutexLock lock(mu_);
   auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.graph;
+  if (it == entries_.end() || it->second.sharded()) return std::nullopt;
+  return it->second.graph();
 }
 
 std::vector<GraphListEntry> SnapshotRegistry::List() const {
   MutexLock lock(mu_);
   std::vector<GraphListEntry> out;
   out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) {
+  for (const auto& [id, source] : entries_) {
     GraphListEntry e;
     e.id = id;
-    e.path = entry.path;
-    e.nodes = entry.graph.NumNodes();
-    e.edges = entry.graph.NumEdges();
-    e.checksum = entry.checksum;
+    e.path = source.path();
+    e.nodes = source.NumNodes();
+    e.edges = source.NumEdges();
+    e.checksum = source.content_checksum();
     out.push_back(std::move(e));
   }
   return out;

@@ -1,23 +1,27 @@
 // Resident snapshot registry: the storage layer of the estimation
 // service.
 //
-// `grw serve` answers queries for many graphs from one process. The
-// `.grwb` substrate (graph/format.h) makes that cheap — a snapshot open
-// is one mmap (~µs) and pages fault in on demand — so the registry keeps
-// every registered graph resident for the daemon's lifetime and shares
-// the expensive warm state:
+// `grw serve` answers queries for many graphs from one process. Every
+// binding is opened through GraphSource::Open (graph/source.h) — the one
+// open path shared with the CLI and benches — so the registry serves all
+// three storage kinds with the same code: text edge lists (parsed once),
+// monolithic `.grwb` snapshots (one mmap, pages fault on demand), and
+// sharded out-of-core graphs (a ShardStore under a resident-byte
+// budget). Warm state is shared aggressively:
 //
-//   * snapshots are keyed by (path, header data checksum): two ids
-//     registered over the same bytes share ONE mapping and ONE
-//     AdjacencyIndex (Graph copies share backing and index), so
-//     multi-tenant aliases of a popular graph cost nothing extra;
+//   * bindings are keyed by (path, content checksum): two ids registered
+//     over the same bytes share ONE GraphSource — one mapping and one
+//     AdjacencyIndex for `.grwb`, one ShardStore (one residency budget,
+//     one LRU) for sharded — so multi-tenant aliases of a popular graph
+//     cost nothing extra. For a shared sharded graph the FIRST
+//     registration's resident budget wins;
 //   * the AdjacencyIndex is built exactly once per distinct snapshot, at
 //     registration — requests never pay the index build;
-//   * lookups return a Graph *copy* (spans + shared_ptr backing): a
-//     request keeps its graph alive even if the id is replaced mid-run.
+//   * lookups return a GraphSource *copy* (shared backing): a request
+//     keeps its graph alive even if the id is replaced mid-run.
 //
 // Thread-safe: registration and lookup take one mutex; the returned
-// Graph is immutable shared state.
+// sources are immutable shared state.
 
 #pragma once
 
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/source.h"
 #include "serve/protocol.h"
 #include "util/sync.h"
 
@@ -35,33 +40,41 @@ namespace grw::serve {
 
 class SnapshotRegistry {
  public:
-  /// Loads `path` and registers it under `id`, replacing any previous
-  /// binding of the id. `.grwb` snapshots mmap zero-copy and are keyed
-  /// by (path, header data checksum) — re-registering an unchanged file
-  /// reuses the resident mapping and its warm AdjacencyIndex; a changed
-  /// checksum loads fresh. Text edge lists are accepted too (parsed,
-  /// checksum 0, never shared by key). Builds the AdjacencyIndex unless
-  /// `build_index` is false.
+  /// Opens `path` via GraphSource::Open and registers it under `id`,
+  /// replacing any previous binding of the id. Re-registering unchanged
+  /// content (same path + checksum) reuses the resident source and its
+  /// warm index/store; changed content loads fresh. Text edge lists
+  /// have checksum 0 and are never shared by key.
   ///
-  /// With `verify` (the default), `.grwb` payloads are fully validated
-  /// at registration — data checksum, offsets monotonicity, neighbor-id
-  /// bounds — so a daemon never serves estimates from a silently
-  /// corrupted snapshot; a mismatch throws SnapshotCorruptError and the
-  /// id stays unbound (the caller quarantines: skip the binding, keep
-  /// the file for inspection). The full-file read this costs is
-  /// comparable to the index build the daemon does anyway. Throws
+  /// With `verify` (the default), snapshot payloads are fully validated
+  /// at registration — data checksums, offsets monotonicity, neighbor-id
+  /// bounds, per shard for sharded graphs — so a daemon never serves
+  /// estimates from a silently corrupted snapshot; a mismatch throws
+  /// SnapshotCorruptError naming the offending file and the id stays
+  /// unbound (the caller quarantines: skip the binding, keep the file
+  /// for inspection). `resident_budget_bytes` caps a sharded graph's
+  /// shard LRU (0 = unbounded; ignored for monolithic kinds). Throws
   /// std::runtime_error on other load failures.
   void Register(const std::string& id, const std::string& path,
-                bool build_index = true, bool verify = true)
-      GRW_EXCLUDES(mu_);
+                bool build_index = true, bool verify = true,
+                uint64_t resident_budget_bytes = 0) GRW_EXCLUDES(mu_);
 
   /// Registers an in-memory graph (tests, the bench load generator).
   void RegisterGraph(const std::string& id, Graph graph,
                      const std::string& label = "<memory>")
       GRW_EXCLUDES(mu_);
 
-  /// The graph bound to `id`, as a cheap copy sharing backing and index;
-  /// nullopt for unknown ids.
+  /// The source bound to `id`, as a cheap copy sharing backing and
+  /// index/store; nullopt for unknown ids. The scheduler dispatches on
+  /// kind(): monolithic sources run the full-access engine, sharded
+  /// sources the out-of-core one.
+  std::optional<GraphSource> FindSource(const std::string& id) const
+      GRW_EXCLUDES(mu_);
+
+  /// DEPRECATED monolithic lookup, kept for pre-GraphSource call sites:
+  /// the graph bound to `id` as a cheap copy. nullopt for unknown ids
+  /// AND for sharded bindings (they have no resident Graph) — callers
+  /// that can serve out-of-core graphs use FindSource.
   std::optional<Graph> Find(const std::string& id) const GRW_EXCLUDES(mu_);
 
   /// LIST-able view of every binding, in id order.
@@ -70,29 +83,24 @@ class SnapshotRegistry {
   size_t size() const GRW_EXCLUDES(mu_);
 
  private:
-  struct Entry {
-    std::string path;
-    uint64_t checksum = 0;
-    Graph graph;
-  };
-
-  /// The resident graph for a (path, checksum) content key, nullptr if
+  /// The resident source for a (path, checksum) content key, nullptr if
   /// none. REQUIRES-checked so the register paths — which already hold
   /// mu_ when they consult residency — cannot re-lock (grw::Mutex is
   /// non-recursive; a second Lock() would be a self-deadlock, caught at
   /// compile time by the annotation and at runtime by the owner check).
-  const Graph* FindResidentLocked(const std::string& content_key) const
-      GRW_REQUIRES(mu_);
+  const GraphSource* FindResidentLocked(const std::string& content_key)
+      const GRW_REQUIRES(mu_);
 
   // Lock discipline: mu_ guards both maps; it is held only for map
   // lookups/inserts, never across a snapshot load (Register parses /
   // mmaps outside the lock so a slow registration cannot block lookups).
   mutable Mutex mu_;
-  std::map<std::string, Entry> entries_ GRW_GUARDED_BY(mu_);  // id -> binding
-  // (path + '\0' + checksum) -> resident graph, for cross-id sharing of
-  // identical snapshots. Never pruned: entries are one Graph copy each
-  // and a daemon registers a bounded set of graphs.
-  std::map<std::string, Graph> by_content_ GRW_GUARDED_BY(mu_);
+  std::map<std::string, GraphSource> entries_
+      GRW_GUARDED_BY(mu_);  // id -> binding
+  // (path + '\0' + checksum) -> resident source, for cross-id sharing of
+  // identical snapshots. Never pruned: entries are one shared-backing
+  // copy each and a daemon registers a bounded set of graphs.
+  std::map<std::string, GraphSource> by_content_ GRW_GUARDED_BY(mu_);
 };
 
 }  // namespace grw::serve

@@ -47,7 +47,7 @@ std::string ServeScheduler::HandleLine(std::string_view line) {
   }
   switch (parsed.request->verb) {
     case Request::Verb::kPing:
-      return PingResponse();
+      return PingResponse(options_.limits);
     case Request::Verb::kList:
       return ListResponse(registry_->List());
     case Request::Verb::kEstimate:
@@ -152,9 +152,17 @@ void ServeScheduler::RunJob(Job& job) {
       // Expired while queued: answer without occupying the pool.
       response = ErrorResponse(DeadlineError(0));
     } else {
-      const std::optional<Graph> graph = registry_->Find(req.graph);
-      if (!graph.has_value()) {
+      const std::optional<GraphSource> source =
+          registry_->FindSource(req.graph);
+      if (!source.has_value()) {
         response = ErrorResponse("unknown graph '" + req.graph + "'");
+      } else if (source->sharded() && req.crawl) {
+        // The crawl cache simulates remote-API access over one flat
+        // graph; it does not compose with out-of-core storage.
+        response = ErrorResponse(
+            "graph '" + req.graph +
+            "' is sharded (out-of-core); crawl mode is unavailable on "
+            "sharded graphs");
       } else {
         EngineOptions options = ToEngineOptions(req);
         options.threads = options_.engine_threads;
@@ -165,7 +173,10 @@ void ServeScheduler::RunJob(Job& job) {
             return std::chrono::steady_clock::now() >= deadline;
           };
         }
-        EstimationEngine engine(*graph, req.config, options);
+        EstimationEngine engine =
+            source->sharded()
+                ? EstimationEngine(source->shards(), req.config, options)
+                : EstimationEngine(source->graph(), req.config, options);
         const EngineResult result = engine.Run();
         charged_distinct = result.access.distinct_fetches;
         if (result.cancelled) {

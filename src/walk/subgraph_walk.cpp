@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "graph/access.h"
+#include "graph/sharded_access.h"
 
 namespace grw {
 
@@ -219,13 +220,20 @@ uint64_t SubgraphStateDegree(const G& g, std::span<const VertexId> state,
 
 template <class G>
 void SubgraphWalkT<G>::Reset(Rng& rng) {
-  // Grow a connected d-set from a random start node by repeatedly adding a
-  // random neighbor of a random member. Retry from scratch if the region
-  // around the start is too small (cannot happen in a connected graph with
-  // n > d, but the loop also guards against pathological RNG luck).
+  ResetInRange(rng, 0, g_->NumNodes());
+}
+
+template <class G>
+void SubgraphWalkT<G>::ResetInRange(Rng& rng, VertexId lo, VertexId hi) {
+  // Grow a connected d-set from a random start node in [lo, hi) by
+  // repeatedly adding a random neighbor of a random member (the grown set
+  // may leave the range — the range only anchors the start). Retry from
+  // scratch if the region around the start is too small (cannot happen in
+  // a connected graph with n > d, but the loop also guards against
+  // pathological RNG luck).
   while (true) {
     nodes_.clear();
-    nodes_.push_back(static_cast<VertexId>(rng.UniformInt(g_->NumNodes())));
+    nodes_.push_back(lo + static_cast<VertexId>(rng.UniformInt(hi - lo)));
     int guard = 0;
     while (static_cast<int>(nodes_.size()) < d_ && guard++ < 16 * d_) {
       const VertexId anchor = nodes_[rng.UniformInt(nodes_.size())];
@@ -298,7 +306,18 @@ template uint64_t SubgraphStateDegree<Graph>(const Graph&,
 template uint64_t SubgraphStateDegree<CrawlAccess>(const CrawlAccess&,
                                                    std::span<const VertexId>,
                                                    GdScratch&);
+template bool InducedSubgraphConnected<ShardedAccess>(
+    const ShardedAccess&, std::span<const VertexId>);
+template uint64_t EnumerateGdNeighbors<ShardedAccess>(
+    const ShardedAccess&, std::span<const VertexId>, std::vector<VertexId>*,
+    GdScratch&);
+template uint64_t EnumerateGdNeighborsWithRows<ShardedAccess>(
+    const ShardedAccess&, std::span<const VertexId>, const uint32_t*,
+    std::vector<VertexId>*, GdScratch&);
+template uint64_t SubgraphStateDegree<ShardedAccess>(
+    const ShardedAccess&, std::span<const VertexId>, GdScratch&);
 template class SubgraphWalkT<Graph>;
 template class SubgraphWalkT<CrawlAccess>;
+template class SubgraphWalkT<ShardedAccess>;
 
 }  // namespace grw

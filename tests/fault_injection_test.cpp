@@ -345,7 +345,7 @@ TEST_F(FaultTest, QueryWithRetryHonorsRetryAfterThenSucceeds) {
     EXPECT_EQ(listener.ReadLine(), "PING");
     listener.WriteLine(serve::OverloadedResponse("busy", 5.0));
     EXPECT_EQ(listener.ReadLine(), "PING");
-    listener.WriteLine(serve::PingResponse());
+    listener.WriteLine(serve::PingResponse(serve::RequestLimits{}));
   });
   serve::RetryPolicy policy;
   policy.max_retries = 3;
@@ -355,7 +355,7 @@ TEST_F(FaultTest, QueryWithRetryHonorsRetryAfterThenSucceeds) {
       "127.0.0.1", listener.port(), "PING", {}, policy);
   peer.join();
   EXPECT_FALSE(outcome.transport_error) << outcome.error;
-  EXPECT_EQ(outcome.response, serve::PingResponse());
+  EXPECT_EQ(outcome.response, serve::PingResponse(serve::RequestLimits{}));
   EXPECT_EQ(outcome.attempts, 2);
   EXPECT_EQ(outcome.retries, 1);
 }

@@ -227,7 +227,7 @@ TEST(SchedulerTest, ServesPingListEstimateAndErrors) {
   registry.RegisterGraph("karate", KarateClub());
   ServeScheduler scheduler(&registry, SmallScheduler(2));
 
-  EXPECT_EQ(scheduler.HandleLine("PING"), PingResponse());
+  EXPECT_EQ(scheduler.HandleLine("PING"), PingResponse(TestLimits()));
   const std::string list = scheduler.HandleLine("LIST");
   EXPECT_NE(list.find("\"karate\""), std::string::npos);
 

@@ -1,0 +1,334 @@
+// Tests for the out-of-core estimation path: ShardStore's LRU residency
+// accounting (eviction order, byte budget, pin semantics), ShardedAccess
+// read equivalence, and the acceptance gate — engine runs over sharded
+// storage are bit-identical to monolithic runs at 1, 2, and 8 threads,
+// whether or not the budget covers the graph.
+
+#include "graph/sharded_access.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "engine/engine.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/sharding.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  // ctest runs each test case as its own process (possibly in
+  // parallel), so the directory must be unique per process.
+  const fs::path dir = fs::temp_directory_path() /
+                       (name + "." + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// A 4-regular ring lattice: every node has degree 4, so equal row counts
+// mean equal shard file sizes — the LRU tests can reason in whole shards.
+Graph RegularGraph() {
+  Rng rng(3);
+  return WattsStrogatz(400, 4, 0.0, rng);
+}
+
+ShardManifest ShardInto(const Graph& g, const std::string& dir,
+                        uint32_t shards) {
+  ShardingOptions options;
+  options.num_shards = shards;
+  return WriteShardedGraph(g, dir, options);
+}
+
+TEST(ShardStoreTest, LruEvictionOrderUnderByteBudget) {
+  const Graph g = RegularGraph();
+  const std::string dir = TempDir("grw_store_lru");
+  const ShardManifest m = ShardInto(g, dir, 4);
+  const uint64_t per_shard = m.shards[0].file_bytes;
+  for (const ShardInfo& s : m.shards) {
+    ASSERT_EQ(s.file_bytes, per_shard);  // regular graph => equal shards
+  }
+
+  ShardStore::Options options;
+  options.resident_budget_bytes = 2 * per_shard;  // exactly two shards
+  const ShardStore store(LoadShardManifest(dir), options);
+
+  store.Acquire(0);
+  store.Acquire(1);
+  EXPECT_TRUE(store.Resident(0));
+  EXPECT_TRUE(store.Resident(1));
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  // Third shard: the least-recently-used (0) goes, not the newest.
+  store.Acquire(2);
+  EXPECT_FALSE(store.Resident(0));
+  EXPECT_TRUE(store.Resident(1));
+  EXPECT_TRUE(store.Resident(2));
+
+  // Touch 1 (a hit, promoting it), then fault 3: now 2 is the LRU.
+  store.Acquire(1);
+  store.Acquire(3);
+  EXPECT_TRUE(store.Resident(1));
+  EXPECT_FALSE(store.Resident(2));
+  EXPECT_TRUE(store.Resident(3));
+
+  const ShardStats stats = store.stats();
+  EXPECT_EQ(stats.faults, 4u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident_shards, 2u);
+  EXPECT_EQ(stats.resident_bytes, 2 * per_shard);
+  EXPECT_EQ(stats.peak_resident_bytes, 2 * per_shard);
+  EXPECT_EQ(stats.budget_bytes, options.resident_budget_bytes);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, BudgetFloorIsOneShard) {
+  // A budget smaller than any shard still admits one shard at a time —
+  // the walk could not proceed otherwise.
+  const Graph g = RegularGraph();
+  const std::string dir = TempDir("grw_store_floor");
+  const ShardManifest m = ShardInto(g, dir, 4);
+  ShardStore::Options options;
+  options.resident_budget_bytes = 1;
+  const ShardStore store(LoadShardManifest(dir), options);
+
+  store.Acquire(0);
+  EXPECT_TRUE(store.Resident(0));
+  EXPECT_EQ(store.stats().resident_bytes, m.shards[0].file_bytes);
+  store.Acquire(1);
+  EXPECT_FALSE(store.Resident(0));
+  EXPECT_TRUE(store.Resident(1));
+  EXPECT_EQ(store.stats().resident_shards, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, UnboundedBudgetNeverEvicts) {
+  const Graph g = RegularGraph();
+  const std::string dir = TempDir("grw_store_unbounded");
+  const ShardManifest m = ShardInto(g, dir, 4);
+  const ShardStore store(LoadShardManifest(dir), {});
+  for (uint32_t s = 0; s < m.NumShards(); ++s) store.Acquire(s);
+  for (uint32_t s = 0; s < m.NumShards(); ++s) {
+    EXPECT_TRUE(store.Resident(s));
+  }
+  const ShardStats stats = store.stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_bytes, m.TotalShardBytes());
+  EXPECT_EQ(stats.budget_bytes, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, PinSurvivesEviction) {
+  // A chain's pin keeps an evicted shard readable: the store drops its
+  // reference and its pages, but the mapping refaults from disk.
+  const Graph g = RegularGraph();
+  const std::string dir = TempDir("grw_store_pin");
+  ShardInto(g, dir, 4);
+  ShardStore::Options options;
+  options.resident_budget_bytes = 1;  // floor: one resident shard
+  const ShardStore store(LoadShardManifest(dir), options);
+
+  const std::shared_ptr<const MappedShard> pin = store.Acquire(0);
+  store.Acquire(1);
+  store.Acquire(2);
+  ASSERT_FALSE(store.Resident(0));
+  for (VertexId v = pin->first_node(); v < pin->end_node(); ++v) {
+    ASSERT_EQ(pin->Degree(v), g.Degree(v)) << "node " << v;
+  }
+  // Re-acquiring after eviction is a fresh fault, not a hit.
+  const ShardStats stats = store.stats();
+  EXPECT_EQ(stats.faults, 3u);
+  store.Acquire(0);
+  EXPECT_EQ(store.stats().faults, 4u);
+  fs::remove_all(dir);
+}
+
+TEST(ShardedAccessTest, ReadsMatchGraphEverywhere) {
+  // Every accessor, every node, every budget: answers must be identical
+  // to the monolithic Graph — including HasEdge's tie-breaking.
+  Rng rng(17);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 4, 0.4, rng));
+  const std::string dir = TempDir("grw_access_equiv");
+  const ShardManifest m = ShardInto(g, dir, 5);
+  for (const uint64_t budget : {uint64_t{0}, m.shards[0].file_bytes}) {
+    ShardStore::Options options;
+    options.resident_budget_bytes = budget;
+    const ShardStore store(LoadShardManifest(dir), options);
+    const ShardedAccess access(store);
+    ASSERT_EQ(access.NumNodes(), g.NumNodes());
+    ASSERT_EQ(access.NumEdges(), g.NumEdges());
+    Rng probe(99);
+    for (VertexId v = 0; v < g.NumNodes(); ++v) {
+      ASSERT_EQ(access.Degree(v), g.Degree(v)) << "node " << v;
+      const auto got = access.Neighbors(v);
+      const auto want = g.Neighbors(v);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "node " << v;
+      }
+      // Random HasEdge probes, mixing present and absent pairs.
+      const VertexId u = static_cast<VertexId>(probe.UniformInt(g.NumNodes()));
+      ASSERT_EQ(access.HasEdge(v, u), g.HasEdge(v, u))
+          << "pair " << v << "," << u;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------------ engine --
+
+EngineOptions BaseOptions(int chains, unsigned threads) {
+  EngineOptions options;
+  options.chains = chains;
+  options.threads = threads;
+  options.max_steps = 4000;
+  options.base_seed = 20240808;
+  options.round_steps = EngineOptions::DefaultRoundSteps(options.max_steps);
+  return options;
+}
+
+void ExpectIdenticalResults(const EngineResult& a, const EngineResult& b) {
+  ASSERT_EQ(a.merged.concentrations.size(), b.merged.concentrations.size());
+  for (size_t i = 0; i < a.merged.concentrations.size(); ++i) {
+    EXPECT_EQ(a.merged.concentrations[i], b.merged.concentrations[i])
+        << "graphlet " << i;
+  }
+  ASSERT_EQ(a.per_chain.size(), b.per_chain.size());
+  for (size_t c = 0; c < a.per_chain.size(); ++c) {
+    for (size_t i = 0; i < a.per_chain[c].concentrations.size(); ++i) {
+      EXPECT_EQ(a.per_chain[c].concentrations[i],
+                b.per_chain[c].concentrations[i])
+          << "chain " << c << " graphlet " << i;
+    }
+  }
+  EXPECT_EQ(a.steps_per_chain, b.steps_per_chain);
+}
+
+TEST(ShardedEngineTest, BitIdenticalToMonolithicAcrossThreadsAndBudgets) {
+  // The acceptance gate: sharded estimates equal monolithic estimates
+  // bit for bit — with the budget covering the whole graph AND with a
+  // budget that forces eviction — at 1, 2, and 8 threads.
+  Rng rng(23);
+  const Graph g = LargestConnectedComponent(HolmeKim(400, 4, 0.3, rng));
+  const std::string dir = TempDir("grw_engine_identity");
+  const ShardManifest m = ShardInto(g, dir, 6);
+  const EstimatorConfig config{4, 2, true, false};
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const EngineOptions options = BaseOptions(/*chains=*/8, threads);
+    EstimationEngine mono(g, config, options);
+    const EngineResult reference = mono.Run();
+
+    for (const uint64_t budget : {uint64_t{0}, m.shards[0].file_bytes}) {
+      ShardStore::Options store_options;
+      store_options.resident_budget_bytes = budget;
+      const ShardStore store(LoadShardManifest(dir), store_options);
+      EstimationEngine sharded(store, config, options);
+      const EngineResult result = sharded.Run();
+      ExpectIdenticalResults(reference, result);
+      // Residency accounting surfaced through the result.
+      EXPECT_GT(result.shards.faults, 0u);
+      EXPECT_EQ(result.shards.budget_bytes, budget);
+      if (budget > 0) {
+        EXPECT_GT(result.shards.evictions, 0u);
+      }
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardedEngineTest, LocalitySeedingStartsChainsInAffinityShards) {
+  Rng rng(31);
+  const Graph g = LargestConnectedComponent(HolmeKim(400, 4, 0.3, rng));
+  const std::string dir = TempDir("grw_engine_locality");
+  ShardInto(g, dir, 4);
+  const ShardStore store(LoadShardManifest(dir), {});
+  const EstimatorConfig config{4, 2, true, false};
+
+  EngineOptions options = BaseOptions(/*chains=*/8, /*threads=*/2);
+  options.sharded.locality_seeding = true;
+  EstimationEngine engine(store, config, options);
+  const EngineResult result = engine.Run();
+
+  // Changed start distribution, same estimator: concentrations are still
+  // a probability vector and every chain ran its full budget.
+  double sum = 0.0;
+  for (const double c : result.merged.concentrations) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    sum += c;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(result.steps_per_chain, options.max_steps);
+  EXPECT_GT(result.shards.faults, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ShardedEngineTest, RejectsCrawlAndBatchModes) {
+  const Graph g = RegularGraph();
+  const std::string dir = TempDir("grw_engine_reject");
+  ShardInto(g, dir, 2);
+  const ShardStore store(LoadShardManifest(dir), {});
+  const EstimatorConfig config{4, 2, true, false};
+
+  EngineOptions crawl = BaseOptions(2, 1);
+  crawl.crawl.enabled = true;
+  EXPECT_THROW(EstimationEngine(store, config, crawl),
+               std::invalid_argument);
+
+  EngineOptions batch = BaseOptions(2, 1);
+  batch.batch.enabled = true;
+  EXPECT_THROW(EstimationEngine(store, config, batch),
+               std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+TEST(ShardedEngineTest, SetStartRangeValidation) {
+  const Graph g = RegularGraph();
+  GraphletEstimator estimator(g, EstimatorConfig{4, 2, true, false});
+  EXPECT_THROW(estimator.SetStartRange(10, 10), std::invalid_argument);
+  EXPECT_THROW(estimator.SetStartRange(20, 10), std::invalid_argument);
+  EXPECT_THROW(estimator.SetStartRange(0, g.NumNodes() + 1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(estimator.SetStartRange(0, g.NumNodes()));
+}
+
+TEST(ShardedEngineTest, FullRangeSeedingIsBitIdenticalToDefault) {
+  // SetStartRange(0, n) consumes the RNG exactly like the default reset,
+  // so the whole run — not just the start node — matches bit for bit.
+  // (This is the invariant that lets Reset delegate to ResetInRange.)
+  Rng rng(41);
+  const Graph g = LargestConnectedComponent(HolmeKim(300, 4, 0.4, rng));
+  const EstimatorConfig config{4, 2, true, false};
+
+  GraphletEstimator plain(g, config);
+  plain.Reset(7);
+  plain.Run(2000);
+
+  GraphletEstimator ranged(g, config);
+  ranged.SetStartRange(0, g.NumNodes());
+  ranged.Reset(7);
+  ranged.Run(2000);
+
+  const EstimateResult a = plain.Result();
+  const EstimateResult b = ranged.Result();
+  ASSERT_EQ(a.concentrations.size(), b.concentrations.size());
+  for (size_t i = 0; i < a.concentrations.size(); ++i) {
+    EXPECT_EQ(a.concentrations[i], b.concentrations[i]) << "graphlet " << i;
+  }
+}
+
+}  // namespace
+}  // namespace grw

@@ -1,0 +1,222 @@
+// Tests for GraphSource::Open (graph/source.*): one open path across
+// text edge lists, monolithic `.grwb` snapshots, and sharded manifests —
+// kind auto-detection, OpenOptions plumbing, content identity, typed
+// corruption errors, and the deprecated aliases staying equivalent.
+
+#include "graph/source.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/format.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/sharding.h"
+#include "util/rng.h"
+
+namespace grw {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each test case as its own process (possibly in
+    // parallel), so the directory must be unique per process.
+    dir_ = (fs::temp_directory_path() /
+            ("grw_source_test." + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    Rng rng(7);
+    g_ = LargestConnectedComponent(HolmeKim(300, 4, 0.4, rng));
+    text_ = dir_ + "/g.edges";
+    binary_ = dir_ + "/g.grwb";
+    sharded_ = dir_ + "/g.shards";
+    SaveEdgeList(g_, text_);
+    SaveGraphBinary(g_, binary_);
+    ShardingOptions options;
+    options.num_shards = 3;
+    WriteShardedGraph(g_, sharded_, options);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_, text_, binary_, sharded_;
+  Graph g_;
+};
+
+TEST_F(SourceTest, OpenAutoDetectsAllThreeKinds) {
+  OpenOptions options;
+  options.build_index = false;
+  options.largest_cc = false;  // the fixture graph is already one CC
+
+  const GraphSource text = GraphSource::Open(text_, options);
+  EXPECT_EQ(text.kind(), GraphSourceKind::kText);
+  EXPECT_FALSE(text.sharded());
+  EXPECT_EQ(text.NumNodes(), g_.NumNodes());
+  EXPECT_EQ(text.NumEdges(), g_.NumEdges());
+  EXPECT_EQ(text.content_checksum(), 0u);  // parsed content: no checksum
+
+  const GraphSource binary = GraphSource::Open(binary_, options);
+  EXPECT_EQ(binary.kind(), GraphSourceKind::kBinary);
+  EXPECT_EQ(binary.NumNodes(), g_.NumNodes());
+  EXPECT_EQ(binary.content_checksum(),
+            InspectGraphBinary(binary_).data_checksum);
+  EXPECT_NE(binary.content_checksum(), 0u);
+
+  // Both the directory and the manifest file open the sharded graph.
+  for (const std::string& path :
+       {sharded_, sharded_ + "/" + kShardManifestName}) {
+    const GraphSource sharded = GraphSource::Open(path, options);
+    EXPECT_EQ(sharded.kind(), GraphSourceKind::kSharded);
+    EXPECT_TRUE(sharded.sharded());
+    EXPECT_EQ(sharded.NumNodes(), g_.NumNodes());
+    EXPECT_EQ(sharded.NumEdges(), g_.NumEdges());
+    EXPECT_EQ(sharded.content_checksum(),
+              ShardContentChecksum(sharded.shards().manifest()));
+    EXPECT_NE(sharded.content_checksum(), 0u);
+  }
+}
+
+TEST_F(SourceTest, KindMismatchedAccessorsThrowLogicError) {
+  OpenOptions options;
+  options.build_index = false;
+  const GraphSource binary = GraphSource::Open(binary_, options);
+  EXPECT_NO_THROW(binary.graph());
+  EXPECT_THROW(binary.shards(), std::logic_error);
+  const GraphSource sharded = GraphSource::Open(sharded_, options);
+  EXPECT_NO_THROW(sharded.shards());
+  EXPECT_THROW(sharded.graph(), std::logic_error);
+}
+
+TEST_F(SourceTest, OpenMatchesDeprecatedAliases) {
+  // The thin aliases and the unified path must load identical bytes.
+  OpenOptions options;
+  options.build_index = false;
+  options.largest_cc = false;
+  const Graph via_alias = LoadGraphBinary(binary_);
+  const Graph via_source = GraphSource::Open(binary_, options).graph();
+  ASSERT_EQ(via_alias.NumNodes(), via_source.NumNodes());
+  for (VertexId v = 0; v < via_alias.NumNodes(); ++v) {
+    ASSERT_EQ(via_alias.Degree(v), via_source.Degree(v));
+  }
+  const Graph text_alias = LoadGraph(text_, /*largest_cc=*/false);
+  const Graph text_source = GraphSource::Open(text_, options).graph();
+  EXPECT_EQ(text_alias.Summary(), text_source.Summary());
+}
+
+TEST_F(SourceTest, OpenOptionsPlumbing) {
+  // build_index reaches the monolithic kinds.
+  OpenOptions with_index;
+  with_index.build_index = true;
+  EXPECT_NE(GraphSource::Open(binary_, with_index)
+                .graph()
+                .adjacency_index(),
+            nullptr);
+  OpenOptions no_index;
+  no_index.build_index = false;
+  EXPECT_EQ(GraphSource::Open(binary_, no_index)
+                .graph()
+                .adjacency_index(),
+            nullptr);
+
+  // relabel_degree applies to text input and is reported.
+  OpenOptions relabel = no_index;
+  relabel.relabel_degree = true;
+  const GraphSource relabeled = GraphSource::Open(text_, relabel);
+  EXPECT_TRUE(relabeled.degree_relabeled());
+  const Graph& r = relabeled.graph();
+  for (VertexId v = 0; v + 1 < r.NumNodes(); ++v) {
+    ASSERT_GE(r.Degree(v), r.Degree(v + 1));
+  }
+
+  // The resident budget lands in the shard store's options and stats.
+  OpenOptions budget = no_index;
+  budget.resident_budget_bytes = 123456;
+  const GraphSource sharded = GraphSource::Open(sharded_, budget);
+  EXPECT_EQ(sharded.shards().options().resident_budget_bytes, 123456u);
+  EXPECT_EQ(sharded.shards().stats().budget_bytes, 123456u);
+}
+
+TEST_F(SourceTest, CopiesShareTheBacking) {
+  OpenOptions options;
+  options.build_index = false;
+  const GraphSource original = GraphSource::Open(sharded_, options);
+  const GraphSource copy = original;
+  // Same store object, not a second mmap of the graph.
+  EXPECT_EQ(&copy.shards(), &original.shards());
+  const GraphSource mono = GraphSource::Open(binary_, options);
+  const GraphSource mono_copy = mono;
+  EXPECT_EQ(mono_copy.graph().RawNeighbors().data(),
+            mono.graph().RawNeighbors().data());
+}
+
+TEST_F(SourceTest, SummaryNamesTheKind) {
+  OpenOptions options;
+  options.build_index = false;
+  EXPECT_NE(GraphSource::Open(binary_, options).Summary().find("n="),
+            std::string::npos);
+  const std::string sharded_summary =
+      GraphSource::Open(sharded_, options).Summary();
+  EXPECT_NE(sharded_summary.find("sharded"), std::string::npos)
+      << sharded_summary;
+}
+
+TEST_F(SourceTest, FromGraphWrapsInMemoryGraphs) {
+  const GraphSource source = GraphSource::FromGraph(g_, "unit-test");
+  EXPECT_FALSE(source.sharded());
+  EXPECT_EQ(source.NumNodes(), g_.NumNodes());
+  EXPECT_EQ(source.path(), "unit-test");
+  EXPECT_EQ(source.content_checksum(), 0u);
+}
+
+TEST_F(SourceTest, CorruptionThrowsTypedErrorForEveryKind) {
+  // One catch type quarantines every layout (the grw_serve contract).
+  const auto flip = [](const std::string& path, uint64_t offset) {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    unsigned char b = 0;
+    ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    b ^= 1u;
+    ASSERT_EQ(std::fwrite(&b, 1, 1, f), 1u);
+    std::fclose(f);
+  };
+  OpenOptions verify;
+  verify.build_index = false;
+  verify.verify = true;
+
+  // Monolithic: flip a payload byte past the header + offsets.
+  flip(binary_, 64 + (uint64_t{g_.NumNodes()} + 1) * 8 + 1);
+  EXPECT_THROW(GraphSource::Open(binary_, verify), SnapshotCorruptError);
+
+  // Sharded: flip a payload byte in shard 2; the eager per-shard probe
+  // at store construction does not read payloads, so only verify=true
+  // catches it at open.
+  const ShardManifest m = LoadShardManifest(sharded_);
+  flip(m.ShardPath(2), 64 + (m.shards[2].num_rows + 1) * 8 + 1);
+  EXPECT_THROW(GraphSource::Open(sharded_, verify), SnapshotCorruptError);
+
+  // Sharded with a missing shard fails even without verify: the store's
+  // eager header probe requires every named shard to exist.
+  fs::remove(m.ShardPath(1));
+  OpenOptions lazy;
+  lazy.build_index = false;
+  EXPECT_THROW(GraphSource::Open(sharded_, lazy), SnapshotCorruptError);
+}
+
+TEST_F(SourceTest, OpenRejectsMissingPath) {
+  EXPECT_THROW(GraphSource::Open(dir_ + "/nope.edges"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace grw

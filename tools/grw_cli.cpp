@@ -12,8 +12,20 @@
 //       Convert an edge list (or registry dataset name) to a `.grwb`
 //       binary CSR snapshot that loads zero-copy via mmap. Convert once,
 //       then point every other command and bench at the snapshot.
+//   grw shard <graph> <out-dir> [--shards N | --target-shard-mb M]
+//       [--relabel-degree] [--lcc 0|1]
+//       Partition a graph into a sharded out-of-core snapshot
+//       (graph/sharding.h): <out-dir>/MANIFEST.grws plus checksummed
+//       shard-NNNNN.grws files, every file written crash-safe. Balanced
+//       by half-edge mass across --shards, or cut at --target-shard-mb
+//       per shard (default 64). `estimate` and `grw_serve` then serve
+//       the directory under a resident-byte budget.
 //   grw info <graph>
-//       Basic statistics of a graph (after simplification + LCC).
+//       Basic statistics of a graph (after simplification + LCC). For a
+//       sharded manifest (or its directory): manifest-level stats, the
+//       log2 degree histogram, and a per-shard table of vertex ranges,
+//       sizes, and checksums — no shard payload is read unless
+//       --verify is given.
 //   grw exact <graph> --k K
 //       Exact induced graphlet counts and concentrations.
 //   grw estimate <graph> --k K [--d D] [--css 0|1] [--nb 0|1]
@@ -22,6 +34,7 @@
 //       [--batch] [--lanes W]
 //       [--crawl] [--budget-queries B] [--cache-size C] [--latency-us L]
 //       [--fail-prob P] [--fail-retries R] [--fail-backoff-us U]
+//       [--resident-budget-mb M] [--locality-seed]
 //       Random-walk estimation (the paper's Algorithm 1) on the parallel
 //       estimation engine: --chains independent chains merged into one
 //       estimate; with --target-nrmse the engine stops as soon as the
@@ -41,7 +54,16 @@
 //       --lanes per unit, default 8) — same estimates bit-for-bit, higher
 //       single-thread throughput via cross-lane prefetch + SIMD probes.
 //       --raw swaps the table for machine-readable `label value` lines
-//       (%.17g), diffable against `grw query --raw`.
+//       (%.17g), diffable against `grw query --raw`. On a sharded graph
+//       (a `grw shard` directory or its MANIFEST.grws) the engine runs
+//       out-of-core through the shard LRU: --resident-budget-mb caps
+//       resident shard bytes (0 = unbounded) and --locality-seed starts
+//       each chain inside an affinity shard (better residency; changes
+//       start positions, so estimates differ from — but converge like —
+//       the default seeding). Estimates under any budget are
+//       bit-identical to the monolithic run; a residency report follows
+//       the table. --counts, --batch, and crawl flags need the
+//       monolithic graph and are rejected on sharded inputs.
 //   grw query <id> [--host H] [--port P] [--raw] [--send 'LINE']
 //       [estimation flags as in `estimate`] [--deadline-ms MS]
 //       [--tenant NAME]
@@ -81,6 +103,9 @@
 #include "graph/format.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/sharded_access.h"
+#include "graph/sharding.h"
+#include "graph/source.h"
 #include "graphlet/catalog.h"
 #include "serve/client.h"
 #include "serve/json.h"
@@ -100,7 +125,13 @@ int Usage() {
       "  convert <graph> <out.grwb> [--relabel-degree] [--lcc 0|1]\n"
       "                                   write a binary CSR snapshot\n"
       "                                   (zero-copy mmap load)\n"
-      "  info <graph>                     graph statistics\n"
+      "  shard <graph> <out-dir> [--shards N | --target-shard-mb M]\n"
+      "        [--relabel-degree] [--lcc 0|1]\n"
+      "                                   partition into an out-of-core\n"
+      "                                   sharded snapshot (MANIFEST.grws\n"
+      "                                   + checksummed shard files)\n"
+      "  info <graph>                     graph statistics (sharded\n"
+      "                                   manifest: per-shard table)\n"
       "  exact <graph> --k K              exact graphlet statistics\n"
       "  estimate <graph> --k K [--chains C] [--target-nrmse X]\n"
       "           [--max-steps N] ...     random-walk estimation with\n"
@@ -117,6 +148,12 @@ int Usage() {
       "                                   model; estimates unchanged)\n"
       "           [--raw]                  `label value` lines instead of\n"
       "                                   the table (diffable vs query)\n"
+      "           [--resident-budget-mb M] [--locality-seed]\n"
+      "                                   sharded graphs run out-of-core\n"
+      "                                   under a resident shard-byte\n"
+      "                                   budget (0 = unbounded), with\n"
+      "                                   optional per-chain affinity-\n"
+      "                                   shard seeding\n"
       "  query <id> [--host H] [--port P] [--raw] [--send 'LINE']\n"
       "           [estimation flags] [--deadline-ms MS] [--tenant NAME]\n"
       "                                   query a running grw_serve daemon;\n"
@@ -127,23 +164,45 @@ int Usage() {
       "                                   30000, -1 = forever) and retries\n"
       "                                   on transport errors + RETRY_AFTER\n"
       "                                   load sheds (default 4)\n"
-      "  <graph> may be a text edge list, a .grwb snapshot, or a dataset\n"
-      "  name from `grw datasets`.\n",
+      "  <graph> may be a text edge list, a .grwb snapshot, a sharded\n"
+      "  manifest (a `grw shard` directory or its MANIFEST.grws), or a\n"
+      "  dataset name from `grw datasets`.\n",
       stderr);
   return 2;
 }
 
-grw::Graph LoadPositional(const grw::Flags& flags, size_t index) {
+// One open path for every command: registry dataset names become
+// in-memory sources, everything else goes through GraphSource::Open's
+// auto-detection (sharded manifest / .grwb snapshot / text edge list).
+grw::GraphSource OpenPositional(const grw::Flags& flags, size_t index,
+                                const grw::OpenOptions& options) {
   if (flags.positional().size() <= index) {
     throw std::runtime_error("missing <graph> argument");
   }
   const std::string& path = flags.positional()[index];
   // Registry names are accepted anywhere a file is.
   if (grw::FindDataset(path).has_value()) {
-    return grw::MakeDatasetByName(path, 1.0);
+    return grw::GraphSource::FromGraph(grw::MakeDatasetByName(path, 1.0),
+                                       path);
   }
-  // Auto-detects .grwb snapshots vs text edge lists.
-  return grw::LoadGraph(path);
+  return grw::GraphSource::Open(path, options);
+}
+
+// The resident-graph variant for commands that need the whole CSR
+// (exact enumeration, global statistics). Rejects sharded sources with
+// a pointer at the commands that do serve them.
+grw::Graph LoadPositional(const grw::Flags& flags, size_t index) {
+  grw::OpenOptions options;
+  options.build_index = false;  // commands attach their own (--no-index)
+  const grw::GraphSource source = OpenPositional(flags, index, options);
+  if (source.sharded()) {
+    throw std::runtime_error(
+        "'" + flags.positional()[index] +
+        "' is sharded (out-of-core); this command needs the whole graph "
+        "resident. Use `grw estimate` / `grw_serve` on sharded graphs, "
+        "or `grw convert` the original input to a monolithic .grwb.");
+  }
+  return source.graph();
 }
 
 int CmdDatasets() {
@@ -205,12 +264,21 @@ int CmdConvert(const grw::Flags& flags) {
   if (grw::FindDataset(in).has_value()) {
     g = grw::MakeDatasetByName(in, flags.GetDouble("scale", 1.0));
   } else {
-    // Snapshot-to-snapshot conversion carries the header flags forward:
-    // a degree-relabeled input stays marked as such in the copy.
-    if (grw::IsGraphBinaryFile(in)) {
-      grwb_flags = grw::InspectGraphBinary(in).flags;
+    grw::OpenOptions open;
+    open.build_index = false;
+    open.largest_cc = flags.GetBool("lcc", true);
+    const grw::GraphSource source = grw::GraphSource::Open(in, open);
+    if (source.sharded()) {
+      throw std::runtime_error(
+          "'" + in + "' is already sharded; convert the original edge "
+          "list or .grwb snapshot instead");
     }
-    g = grw::LoadGraph(in, flags.GetBool("lcc", true));
+    // Snapshot-to-snapshot conversion carries the relabel flag forward:
+    // a degree-relabeled input stays marked as such in the copy.
+    if (source.degree_relabeled()) {
+      grwb_flags |= grw::kGrwbFlagDegreeRelabeled;
+    }
+    g = source.graph();
   }
   const double load_s = load_timer.Seconds();
 
@@ -225,7 +293,10 @@ int CmdConvert(const grw::Flags& flags) {
   if (flags.GetBool("verify", true)) {
     // Full checksum read-back: cheap relative to the conversion, and a
     // corrupted snapshot discovered now is a bench run saved later.
-    (void)grw::LoadGraphBinary(out, /*verify_checksum=*/true);
+    grw::OpenOptions check;
+    check.build_index = false;
+    check.verify = true;
+    (void)grw::GraphSource::Open(out, check);
   }
   const grw::GrwbInfo info = grw::InspectGraphBinary(out);
   std::printf("wrote %s: %s%s, %.1f MiB (load %s, convert+write %s)\n",
@@ -237,7 +308,141 @@ int CmdConvert(const grw::Flags& flags) {
   return 0;
 }
 
+int CmdShard(const grw::Flags& flags) {
+  if (flags.positional().size() < 3) return Usage();
+  const std::string& in = flags.positional()[1];
+  const std::string& dir = flags.positional()[2];
+  if (flags.Has("shards") && flags.Has("target-shard-mb")) {
+    throw std::runtime_error(
+        "--shards and --target-shard-mb are mutually exclusive");
+  }
+
+  grw::WallTimer load_timer;
+  grw::Graph g;
+  uint32_t grwb_flags = 0;
+  if (grw::FindDataset(in).has_value()) {
+    g = grw::MakeDatasetByName(in, flags.GetDouble("scale", 1.0));
+  } else {
+    grw::OpenOptions open;
+    open.build_index = false;
+    open.largest_cc = flags.GetBool("lcc", true);
+    const grw::GraphSource source = grw::GraphSource::Open(in, open);
+    if (source.sharded()) {
+      throw std::runtime_error(
+          "'" + in + "' is already sharded; re-shard from the edge list "
+          "or monolithic .grwb it was built from");
+    }
+    if (source.degree_relabeled()) {
+      grwb_flags |= grw::kGrwbFlagDegreeRelabeled;
+    }
+    g = source.graph();
+  }
+  const double load_s = load_timer.Seconds();
+
+  if (flags.GetBool("relabel-degree")) {
+    g = grw::RelabelByDegree(g);
+    grwb_flags |= grw::kGrwbFlagDegreeRelabeled;
+  }
+
+  grw::ShardingOptions sharding;
+  sharding.flags = grwb_flags;
+  if (flags.Has("shards")) {
+    const int64_t shards = flags.GetInt("shards", 0);
+    if (shards < 1 || static_cast<uint64_t>(shards) > g.NumNodes()) {
+      throw std::runtime_error("--shards must be in [1, num nodes]");
+    }
+    sharding.num_shards = static_cast<uint32_t>(shards);
+  } else {
+    const int64_t target_mb = flags.GetInt("target-shard-mb", 64);
+    if (target_mb < 1) {
+      throw std::runtime_error("--target-shard-mb must be >= 1");
+    }
+    sharding.target_shard_bytes = static_cast<uint64_t>(target_mb) << 20;
+  }
+
+  grw::WallTimer write_timer;
+  const grw::ShardManifest manifest =
+      grw::WriteShardedGraph(g, dir, sharding);
+  std::printf(
+      "wrote %s: %s%s, %u shard(s), %.1f MiB total "
+      "(load %s, shard+write %s)\n",
+      manifest.path.c_str(), g.Summary().c_str(),
+      manifest.DegreeRelabeled() ? ", degree-relabeled" : "",
+      manifest.NumShards(),
+      static_cast<double>(manifest.TotalShardBytes()) / (1024.0 * 1024.0),
+      grw::Table::Duration(load_s).c_str(),
+      grw::Table::Duration(write_timer.Seconds()).c_str());
+  return 0;
+}
+
+// `grw info` on a sharded manifest: everything here comes from the
+// manifest alone — shard balance is inspectable without faulting a
+// single shard page. --verify additionally opens and checksums every
+// shard (the out-of-core analogue of `convert --verify`'s read-back).
+int ShardedInfo(const std::string& path, bool verify) {
+  const grw::ShardManifest manifest = grw::LoadShardManifest(path, verify);
+  grw::Table table("sharded graph statistics" +
+                   std::string(verify ? " (shards verified)" : ""));
+  table.SetHeader({"quantity", "value"});
+  table.AddRow({"format", "grws v" + std::to_string(manifest.version) +
+                              (manifest.DegreeRelabeled()
+                                   ? " (degree-relabeled)"
+                                   : "")});
+  table.AddRow({"nodes", grw::Table::Int(static_cast<long long>(
+                             manifest.total_nodes))});
+  table.AddRow({"edges", grw::Table::Int(static_cast<long long>(
+                             manifest.total_half_edges / 2))});
+  table.AddRow({"shards", grw::Table::Int(manifest.NumShards())});
+  table.AddRow({"total size",
+                grw::Table::Num(static_cast<double>(
+                                    manifest.TotalShardBytes()) /
+                                    (1024.0 * 1024.0), 1) + " MiB"});
+  // Log2 degree histogram (bucket b = degrees with bit-width b).
+  for (int b = 0; b < grw::kDegreeHistogramBuckets; ++b) {
+    if (manifest.degree_histogram[static_cast<size_t>(b)] == 0) continue;
+    std::string label;
+    if (b <= 1) {
+      label = "deg " + std::to_string(b);
+    } else {
+      label = "deg " + std::to_string(1ull << (b - 1)) + ".." +
+              std::to_string((1ull << b) - 1);
+    }
+    table.AddRow({label,
+                  grw::Table::Int(static_cast<long long>(
+                      manifest.degree_histogram[static_cast<size_t>(b)]))});
+  }
+  table.Print();
+
+  grw::Table shards("shards (" + manifest.dir + ")");
+  shards.SetHeader({"shard", "rows [first, end)", "half-edges", "MiB",
+                    "checksum"});
+  for (uint32_t s = 0; s < manifest.NumShards(); ++s) {
+    const grw::ShardInfo& info = manifest.shards[s];
+    char range[48];
+    std::snprintf(range, sizeof(range), "[%llu, %llu)",
+                  static_cast<unsigned long long>(info.first_node),
+                  static_cast<unsigned long long>(info.first_node +
+                                                  info.num_rows));
+    char checksum[24];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(info.data_checksum));
+    shards.AddRow({grw::Table::Int(s), range,
+                   grw::Table::Int(static_cast<long long>(
+                       info.num_half_edges)),
+                   grw::Table::Num(static_cast<double>(info.file_bytes) /
+                                       (1024.0 * 1024.0), 1),
+                   checksum});
+  }
+  shards.Print();
+  return 0;
+}
+
 int CmdInfo(const grw::Flags& flags) {
+  if (flags.positional().size() > 1 &&
+      !grw::FindDataset(flags.positional()[1]).has_value() &&
+      grw::IsShardManifestPath(flags.positional()[1])) {
+    return ShardedInfo(flags.positional()[1], flags.GetBool("verify"));
+  }
   const grw::Graph g = LoadPositional(flags, 1);
   grw::Table table("graph statistics");
   table.SetHeader({"quantity", "value"});
@@ -292,9 +497,20 @@ int CmdExact(const grw::Flags& flags) {
 }
 
 int CmdEstimate(const grw::Flags& flags) {
-  grw::Graph g = LoadPositional(flags, 1);
   const bool quiet = flags.GetBool("quiet");
-  if (!flags.GetBool("no-index")) {
+  const int64_t budget_mb = flags.GetInt("resident-budget-mb", 0);
+  if (budget_mb < 0) {
+    throw std::runtime_error("--resident-budget-mb must be >= 0");
+  }
+  grw::OpenOptions open;
+  open.build_index = false;  // attached below so --no-index can skip it
+  open.resident_budget_bytes = static_cast<uint64_t>(budget_mb) << 20;
+  const grw::GraphSource source = OpenPositional(flags, 1, open);
+  const bool sharded = source.sharded();
+
+  grw::Graph g;  // resident path only; stays empty for sharded sources
+  if (!sharded) g = source.graph();
+  if (!sharded && !flags.GetBool("no-index")) {
     grw::WallTimer index_timer;
     g.BuildAdjacencyIndex();
     if (!quiet) {
@@ -318,6 +534,11 @@ int CmdEstimate(const grw::Flags& flags) {
   if (counts && config.d > 2) {
     throw std::runtime_error(
         "--counts requires --d <= 2 (no closed-form |R(d)| for d >= 3)");
+  }
+  if (counts && sharded) {
+    throw std::runtime_error(
+        "--counts needs |R(d)| from the resident graph; sharded sources "
+        "report concentrations only");
   }
 
   // Engine knobs: chains fan out on the persistent pool; --target-nrmse
@@ -395,6 +616,16 @@ int CmdEstimate(const grw::Flags& flags) {
     options.batch.lanes = static_cast<int>(lanes);
   }
 
+  // Locality seeding: each chain starts inside its affinity shard, so
+  // chains fault disjoint working sets under a tight budget. Opt-in
+  // because it changes the start distribution (still unbiased, not
+  // bit-identical to default seeding).
+  options.sharded.locality_seeding = flags.GetBool("locality-seed");
+  if (options.sharded.locality_seeding && !sharded) {
+    throw std::runtime_error(
+        "--locality-seed only applies to sharded graphs");
+  }
+
   if (options.target_nrmse > 0.0 || options.chains > 1) {
     // Fix the round slicing here so --quiet (which only drops the
     // progress callback) cannot change the batch structure and thus the
@@ -414,7 +645,9 @@ int CmdEstimate(const grw::Flags& flags) {
     };
   }
 
-  grw::EstimationEngine engine(g, config, options);
+  grw::EstimationEngine engine =
+      sharded ? grw::EstimationEngine(source.shards(), config, options)
+              : grw::EstimationEngine(g, config, options);
   const grw::EngineResult run = engine.Run();
 
   if (flags.GetBool("raw")) {
@@ -487,6 +720,27 @@ int CmdEstimate(const grw::Flags& flags) {
                   options.target_nrmse, run.max_rel_error);
     }
     std::printf("\n");
+  }
+  if (sharded && !quiet) {
+    const grw::ShardStats& s = run.shards;
+    std::string budget = "unbounded budget";
+    if (s.budget_bytes > 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.1f MiB budget",
+                    static_cast<double>(s.budget_bytes) / (1024.0 * 1024.0));
+      budget = buf;
+    }
+    std::printf(
+        "shard residency: %llu faults, %llu hits (%.1f%% hit rate), "
+        "%llu evictions; peak %.1f of %.1f MiB resident (%s, %u shards)\n",
+        static_cast<unsigned long long>(s.faults),
+        static_cast<unsigned long long>(s.hits), 100.0 * s.HitRate(),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<double>(s.peak_resident_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(
+            source.shards().manifest().TotalShardBytes()) /
+            (1024.0 * 1024.0),
+        budget.c_str(), source.shards().NumShards());
   }
   if (options.crawl.enabled && !quiet) {
     const grw::CrawlStats& a = run.access;
@@ -710,6 +964,7 @@ int main(int argc, char** argv) {
     if (cmd == "datasets") return CmdDatasets();
     if (cmd == "generate") return CmdGenerate(flags);
     if (cmd == "convert") return CmdConvert(flags);
+    if (cmd == "shard") return CmdShard(flags);
     if (cmd == "info") return CmdInfo(flags);
     if (cmd == "exact") return CmdExact(flags);
     if (cmd == "estimate") return CmdEstimate(flags);

@@ -3,12 +3,15 @@
 //   grw_serve [--host H] [--port P] [--workers N] [--queue N]
 //             [--engine-threads T] [--tenant-budget B] [--max-steps N]
 //             [--max-chains N] [--retry-after-ms MS] [--no-index]
-//             [--no-verify] <id>=<graph> ...
+//             [--no-verify] [--resident-budget-mb M] <id>=<graph> ...
 //
 // Loads every <id>=<graph> binding into a resident SnapshotRegistry
-// (`.grwb` snapshots mmap in microseconds and share warm adjacency
-// indexes across ids; text edge lists and registry dataset names work
-// too), then answers the line/JSON protocol of src/serve/protocol.h on a
+// through GraphSource::Open (`.grwb` snapshots mmap in microseconds and
+// share warm adjacency indexes across ids; sharded out-of-core graphs —
+// a `grw shard` output directory or its MANIFEST.grws — serve under the
+// --resident-budget-mb shard-LRU budget; text edge lists and registry
+// dataset names work too), then answers the line/JSON protocol of
+// src/serve/protocol.h on a
 // TCP socket until SIGTERM/SIGINT, which triggers a graceful drain:
 // in-flight and queued requests finish, new ones are refused, and the
 // daemon exits 0 after printing how much it served.
@@ -26,6 +29,10 @@
 //   --retry-after-ms  backoff hint in RETRY_AFTER load-shed responses
 //                     (default 50); corrupt .grwb snapshots are
 //                     quarantined at startup unless --no-verify
+//   --resident-budget-mb  resident-byte budget for each sharded
+//                     binding's shard LRU (0 = unbounded). Monolithic
+//                     bindings ignore it. Corrupt shards quarantine the
+//                     whole binding, exactly like corrupt .grwb files.
 //
 // Try it:
 //   grw_serve --port 7411 web=web.grwb &
@@ -54,12 +61,15 @@ int Usage() {
       "                 [--engine-threads T] [--tenant-budget B]\n"
       "                 [--max-steps N] [--max-chains N] [--no-index]\n"
       "                 [--no-verify] [--retry-after-ms MS]\n"
+      "                 [--resident-budget-mb M]\n"
       "                 <id>=<graph> [<id>=<graph> ...]\n"
-      "  <graph> is a .grwb snapshot (preferred: zero-copy mmap), a text\n"
-      "  edge list, or a dataset name from `grw datasets`.\n"
-      "  .grwb payloads are checksum-verified at registration; corrupt\n"
-      "  snapshots are quarantined (skipped with a log line). --no-verify\n"
-      "  trusts the files and skips the full-file read.\n",
+      "  <graph> is a .grwb snapshot (preferred: zero-copy mmap), a\n"
+      "  sharded graph (a `grw shard` output dir or its MANIFEST.grws;\n"
+      "  served out-of-core under --resident-budget-mb), a text edge\n"
+      "  list, or a dataset name from `grw datasets`.\n"
+      "  Snapshot payloads are checksum-verified at registration; corrupt\n"
+      "  snapshots/shards are quarantined (skipped with a log line).\n"
+      "  --no-verify trusts the files and skips the full read.\n",
       stderr);
   return 2;
 }
@@ -91,6 +101,8 @@ int main(int argc, char** argv) {
   }
   const bool build_index = !flags.GetBool("no-index");
   const bool verify = !flags.GetBool("no-verify");
+  const uint64_t resident_budget_bytes =
+      flags.GetUInt64("resident-budget-mb", 0) << 20;
 
   grw::serve::SnapshotRegistry registry;
   size_t quarantined = 0;
@@ -111,11 +123,13 @@ int main(int argc, char** argv) {
         registry.RegisterGraph(id, std::move(g), path);
       } else {
         try {
-          registry.Register(id, path, build_index, verify);
+          registry.Register(id, path, build_index, verify,
+                            resident_budget_bytes);
         } catch (const grw::SnapshotCorruptError& e) {
           // Quarantine: the id stays unbound (queries for it get a
-          // clean "unknown graph" error), the file stays on disk for
-          // inspection, and the daemon keeps serving the healthy rest.
+          // clean "unknown graph" error), the file(s) — monolithic or
+          // any one bad shard — stay on disk for inspection, and the
+          // daemon keeps serving the healthy rest.
           std::fprintf(stderr, "[serve] QUARANTINED %s: %s\n", id.c_str(),
                        e.what());
           ++quarantined;
